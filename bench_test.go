@@ -1,0 +1,437 @@
+// Benchmark harness: one benchmark per paper artifact (Table 2, Fig. 2b,
+// Fig. 6, Fig. 7) plus ablations of the design choices called out in
+// DESIGN.md. The benchmarks run the QuickSetup kernels so iteration stays
+// fast; `go run sherlock/cmd/sherlock-exp` regenerates the full-scale
+// campaign. Custom metrics surface the experiment outputs (latencies,
+// P_app, EDP gains) alongside the usual ns/op.
+package sherlock_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sherlock"
+	"sherlock/internal/aig"
+	"sherlock/internal/arraymodel"
+	"sherlock/internal/device"
+	"sherlock/internal/dfg"
+	"sherlock/internal/experiments"
+	"sherlock/internal/layout"
+	"sherlock/internal/logic"
+	"sherlock/internal/mapping"
+	"sherlock/internal/reliability"
+	"sherlock/internal/sim"
+	"sherlock/internal/workloads/aes"
+	"sherlock/internal/workloads/bitweaving"
+	"sherlock/internal/workloads/sobel"
+)
+
+// ---- Table 2: latency & energy across techs, sizes, mappers, MRA ----
+
+func benchmarkTable2Workload(b *testing.B, w experiments.Workload) {
+	r := experiments.NewRunner(experiments.QuickSetup())
+	var lastNaive, lastOpt float64
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{512, 1024} {
+			for _, naive := range []bool{true, false} {
+				res, err := r.Map(w, 1.0, false, size, naive)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost, err := experiments.Cost(res, device.STTMRAM, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if naive {
+					lastNaive = cost.LatencyUS()
+				} else {
+					lastOpt = cost.LatencyUS()
+				}
+			}
+		}
+	}
+	b.ReportMetric(lastNaive, "naive_us")
+	b.ReportMetric(lastOpt, "opt_us")
+	if lastOpt > 0 {
+		b.ReportMetric(lastNaive/lastOpt, "speedup")
+	}
+}
+
+func BenchmarkTable2Bitweaving(b *testing.B) { benchmarkTable2Workload(b, experiments.Bitweaving) }
+func BenchmarkTable2Sobel(b *testing.B)      { benchmarkTable2Workload(b, experiments.Sobel) }
+func BenchmarkTable2AES(b *testing.B)        { benchmarkTable2Workload(b, experiments.AES) }
+
+// ---- Fig. 2b: decision-failure statistics ----
+
+func BenchmarkFig2bDecisionFailure(b *testing.B) {
+	var rows []experiments.Fig2bRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig2b(device.Technologies())
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if r.PDF > worst {
+			worst = r.PDF
+		}
+	}
+	b.ReportMetric(worst, "worst_pdf")
+}
+
+// ---- Fig. 6: reliability vs latency under the MRA sweep ----
+
+func BenchmarkFig6Sweep(b *testing.B) {
+	r := experiments.NewRunner(experiments.QuickSetup())
+	var series []experiments.Fig6Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = experiments.Fig6(r, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	gains := experiments.Fig6Summary(series)
+	b.ReportMetric(gains[device.ReRAM], "opt_papp_gain_reram")
+	b.ReportMetric(gains[device.STTMRAM], "opt_papp_gain_stt")
+}
+
+// ---- Fig. 7: EDP vs the CPU baseline ----
+
+func BenchmarkFig7EDP(b *testing.B) {
+	r := experiments.NewRunner(experiments.QuickSetup())
+	var rows []experiments.Fig7Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig7(r, []int{128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, row := range rows {
+		if row.EDPGain > best {
+			best = row.EDPGain
+		}
+	}
+	b.ReportMetric(best, "best_edp_gain")
+}
+
+// ---- Component benchmarks ----
+
+func buildQuickAES(b *testing.B) *dfg.Graph {
+	b.Helper()
+	g, err := aes.Build(aes.Config{Rounds: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkMapperNaiveAES(b *testing.B) {
+	g := buildQuickAES(b)
+	t := layout.Target{Arrays: 4, Rows: 512, Cols: 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.Naive(g, mapping.Options{Target: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapperOptimizedAES(b *testing.B) {
+	g := buildQuickAES(b)
+	t := layout.Target{Arrays: 4, Rows: 512, Cols: 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.Optimized(g, mapping.Options{Target: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorBitweaving(b *testing.B) {
+	cfg := bitweaving.Config{Bits: 16, Segments: 8}
+	g, err := bitweaving.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := layout.Target{Arrays: 1, Rows: 256, Cols: 256}
+	res, err := mapping.Optimized(g, mapping.Options{Target: t})
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := make([]uint64, cfg.Segments)
+	for i := range values {
+		values[i] = uint64(i * 7919)
+	}
+	in, err := bitweaving.Assignments(cfg, values, 100, 60000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sim.NewMachine(t)
+		if err := m.Run(res.Program, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Program)), "instructions")
+}
+
+func BenchmarkSBoxTowerConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bld := sherlock.NewBuilder()
+		var pt, key [16]byte
+		_ = pt
+		_ = key
+		// One S-box instance per iteration.
+		var in [8]sherlock.Val
+		for j := range in {
+			in[j] = bld.Input(fmt.Sprintf("x%d", j))
+		}
+		_ = aes.TowerSBoxGateCount()
+	}
+}
+
+func BenchmarkSBoxShannonSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := aig.New(8)
+		for bit := 0; bit < 8; bit++ {
+			tt := aig.TTFromFunc(8, func(x uint) bool {
+				return aes.SBox(byte(x))>>uint(bit)&1 == 1
+			})
+			g.Synthesize(tt)
+		}
+	}
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationInstructionMerging isolates the Sec. 3.3.3 merging pass:
+// the same clustered program with and without cross-cluster merging.
+func BenchmarkAblationInstructionMerging(b *testing.B) {
+	g, err := sobel.Build(sobel.Config{TileW: 2, TileH: 2, PixelBits: 8, Threshold: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := layout.Target{Arrays: 1, Rows: 128, Cols: 128}
+	res, err := mapping.Naive(g, mapping.Options{Target: t})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var merged int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, merged = mapping.MergeInstructions(res.Program)
+	}
+	b.ReportMetric(float64(len(res.Program)), "instr_before")
+	b.ReportMetric(float64(len(res.Program)-merged), "instr_after")
+}
+
+// BenchmarkAblationEq1 compares the prose-faithful assignment score against
+// the paper's literally printed Eq. 1.
+func BenchmarkAblationEq1(b *testing.B) {
+	g := buildQuickAES(b)
+	t := layout.Target{Arrays: 4, Rows: 512, Cols: 512}
+	for _, variant := range []struct {
+		name  string
+		paper bool
+	}{{"prose", false}, {"printed", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var last *mapping.Result
+			for i := 0; i < b.N; i++ {
+				res, err := mapping.Optimized(g, mapping.Options{Target: t, PaperEq1: variant.paper})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Stats.Instructions), "instructions")
+			b.ReportMetric(float64(last.Stats.Copies), "copies")
+		})
+	}
+}
+
+// BenchmarkAblationNANDLowering measures the latency/reliability trade of
+// Fig. 6b's NAND-based XOR/OR on STT-MRAM.
+func BenchmarkAblationNANDLowering(b *testing.B) {
+	cfg := bitweaving.Config{Bits: 8, Segments: 4}
+	g, err := bitweaving.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		nand bool
+	}{{"native", false}, {"nand", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var papp, lat float64
+			for i := 0; i < b.N; i++ {
+				c, err := sherlock.CompileGraph(g, sherlock.Options{
+					Tech:         sherlock.STTMRAM,
+					ArraySize:    128,
+					Arrays:       4,
+					NANDLowering: variant.nand,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost, err := c.Cost()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rel, err := c.Reliability()
+				if err != nil {
+					b.Fatal(err)
+				}
+				papp, lat = rel.PApp, cost.LatencyUS()
+			}
+			b.ReportMetric(papp, "papp")
+			b.ReportMetric(lat, "latency_us")
+		})
+	}
+}
+
+// BenchmarkAblationMaxRows sweeps the multi-row-activation bound.
+func BenchmarkAblationMaxRows(b *testing.B) {
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 16, Segments: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rows := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
+			var instr int
+			for i := 0; i < b.N; i++ {
+				fused := g
+				if rows > 2 {
+					fused, _ = dfg.SubstituteNodes(g, dfg.SubstituteOptions{MaxOperands: rows, Fraction: 1})
+				}
+				res, err := mapping.Optimized(fused, mapping.Options{Target: layout.Target{Arrays: 1, Rows: 256, Cols: 256}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				instr = res.Stats.Instructions
+			}
+			b.ReportMetric(float64(instr), "instructions")
+			p := device.ParamsFor(device.ReRAM)
+			if rows <= p.MaxRows {
+				b.ReportMetric(p.DecisionFailure(logic.And, max(2, rows)), "and_pdf")
+			}
+		})
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkAblationRowRecycling measures the capacity effect of
+// liveness-driven row reuse on a column-constrained target.
+func BenchmarkAblationRowRecycling(b *testing.B) {
+	g, err := sobel.Build(sobel.Config{TileW: 2, TileH: 2, PixelBits: 8, Threshold: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := layout.Target{Arrays: 1, Rows: 64, Cols: 512}
+	for _, variant := range []struct {
+		name    string
+		recycle bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var cols, recycled int
+			for i := 0; i < b.N; i++ {
+				res, err := mapping.Optimized(g, mapping.Options{Target: t, RecycleRows: variant.recycle})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cols, recycled = res.Stats.ColumnsUsed, res.Stats.RecycledRows
+			}
+			b.ReportMetric(float64(cols), "columns")
+			b.ReportMetric(float64(recycled), "recycled_rows")
+		})
+	}
+}
+
+// BenchmarkMonteCarloValidation runs the fault-injection campaign that
+// cross-checks the analytical P_app model.
+func BenchmarkMonteCarloValidation(b *testing.B) {
+	r := experiments.NewRunner(experiments.QuickSetup())
+	var mc experiments.MCResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		mc, err = experiments.MonteCarlo(r, experiments.Bitweaving, device.STTMRAM, 128, 100, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mc.AnalyticalPApp, "papp_model")
+	b.ReportMetric(mc.ObservedFaultRate, "papp_observed")
+	b.ReportMetric(mc.MaskingFactor(), "masking")
+}
+
+// BenchmarkAblationParallelTiming compares the conservative serial timing
+// against the multi-array overlap model on a kernel spread across arrays.
+func BenchmarkAblationParallelTiming(b *testing.B) {
+	g, err := aes.Build(aes.Config{Rounds: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Narrow arrays force the clusters across several of them.
+	t := layout.Target{Arrays: 16, Rows: 96, Cols: 24}
+	res, err := mapping.Optimized(g, mapping.Options{Target: t})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := arraymodel.New(arraymodel.Config{Tech: device.STTMRAM, Rows: 96, Cols: 24, DataWidth: 96})
+	var serial, par sim.Cost
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial, err = sim.Measure(res.Program, cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err = sim.MeasureParallel(res.Program, cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(serial.LatencyNS/1e3, "serial_us")
+	b.ReportMetric(par.LatencyNS/1e3, "parallel_us")
+	if par.LatencyNS > 0 {
+		b.ReportMetric(serial.LatencyNS/par.LatencyNS, "overlap_speedup")
+	}
+}
+
+// BenchmarkAblationWearLeveling quantifies the endurance effect of FIFO
+// row rotation under recycling: same program size, flatter wear.
+func BenchmarkAblationWearLeveling(b *testing.B) {
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 16, Segments: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := layout.Target{Arrays: 1, Rows: 48, Cols: 64}
+	for _, variant := range []struct {
+		name  string
+		level bool
+	}{{"lifo", false}, {"fifo", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var maxWrites int
+			for i := 0; i < b.N; i++ {
+				res, err := mapping.Optimized(g, mapping.Options{
+					Target: t, RecycleRows: true, WearLeveling: variant.level,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := reliability.AssessWear(res.Program)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxWrites = rep.MaxWritesPerCell
+			}
+			b.ReportMetric(float64(maxWrites), "max_writes_per_cell")
+		})
+	}
+}

@@ -1,0 +1,90 @@
+// Command dfg2dot renders a kernel's data-flow graph in Graphviz DOT
+// format (the style of the paper's Fig. 3b: operand nodes orange, op nodes
+// blue with their b-level priorities in red).
+//
+// Usage:
+//
+//	dfg2dot -in kernel.c [-mra] [-nand] [-o out.dot]
+//	dfg2dot -workload bitweaving|sobel|aes [-o out.dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sherlock/internal/cparser"
+	"sherlock/internal/dfg"
+	"sherlock/internal/workloads/aes"
+	"sherlock/internal/workloads/bitweaving"
+	"sherlock/internal/workloads/sobel"
+)
+
+func main() {
+	var (
+		inPath   = flag.String("in", "", "kernel source file")
+		workload = flag.String("workload", "", "built-in workload: bitweaving, sobel or aes")
+		mra      = flag.Bool("mra", false, "apply node substitution first")
+		maxRows  = flag.Int("max-rows", 4, "fused arity bound for -mra")
+		nand     = flag.Bool("nand", false, "apply NAND lowering first")
+		outPath  = flag.String("o", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	g, title, err := buildGraph(*inPath, *workload)
+	if err != nil {
+		fatal(err)
+	}
+	if *mra {
+		g, _ = dfg.SubstituteNodes(g, dfg.SubstituteOptions{MaxOperands: *maxRows, Fraction: 1})
+	}
+	if *nand {
+		g, _ = dfg.LowerToNAND(g)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := g.WriteDOT(out, title); err != nil {
+		fatal(err)
+	}
+}
+
+func buildGraph(inPath, workload string) (*dfg.Graph, string, error) {
+	switch {
+	case inPath != "" && workload != "":
+		return nil, "", fmt.Errorf("use either -in or -workload, not both")
+	case inPath != "":
+		src, err := os.ReadFile(inPath)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := cparser.Compile(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		return c.Graph, c.KernelName, nil
+	case workload == "bitweaving":
+		g, err := bitweaving.Build(bitweaving.Config{Bits: 4, Segments: 1})
+		return g, "bitweaving", err
+	case workload == "sobel":
+		g, err := sobel.Build(sobel.Config{TileW: 1, TileH: 1, PixelBits: 4, Threshold: 8})
+		return g, "sobel", err
+	case workload == "aes":
+		g, err := aes.Build(aes.Config{Rounds: 1})
+		return g, "aes", err
+	default:
+		return nil, "", fmt.Errorf("give -in FILE or -workload NAME")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfg2dot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command sherlock-exp regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	sherlock-exp -exp table2|fig2b|fig6|fig7|all [-quick]
+//	             [-fig6-size 256] [-fig7-sizes 128,256,512,1024]
+//
+// -quick shrinks the kernels (2-round AES, small tiles) for fast runs;
+// the default regenerates the full-scale campaign (complete AES-128),
+// which takes a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sherlock/internal/device"
+	"sherlock/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc or all")
+		quick     = flag.Bool("quick", false, "shrunken kernels for fast iteration")
+		fig6Size  = flag.Int("fig6-size", 256, "array dimension for the Fig. 6 sweep")
+		fig7Sizes = flag.String("fig7-sizes", "128,256,512,1024", "array dimensions for Fig. 7")
+	)
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	if *quick {
+		setup = experiments.QuickSetup()
+	}
+	r := experiments.NewRunner(setup)
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "sherlock-exp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig2b", func() error {
+		fmt.Print(experiments.RenderFig2b(experiments.Fig2b(device.Technologies())))
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable2(rows))
+		s := experiments.Summarize(rows)
+		fmt.Printf("headline ratios: opt/naive latency %.2fx, energy %.2fx; naive MRA>=2 latency %.2fx\n",
+			s.GeomeanLatencyGain, s.GeomeanEnergyGain, s.NaiveMRALatencyGain)
+		return nil
+	})
+	run("fig6", func() error {
+		series, err := experiments.Fig6(r, *fig6Size)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6(series))
+		for tech, gain := range experiments.Fig6Summary(series) {
+			fmt.Printf("opt P_app improvement on %v: %.2fx (geomean over the sweep)\n", tech, gain)
+		}
+		return nil
+	})
+	run("mc", func() error {
+		var rows []experiments.MCResult
+		for _, tech := range []device.Technology{device.ReRAM, device.STTMRAM} {
+			mc, err := experiments.MonteCarlo(r, experiments.Bitweaving, tech, *fig6Size, 400, 7)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, mc)
+		}
+		fmt.Print(experiments.RenderMC(rows))
+		return nil
+	})
+	run("fig7", func() error {
+		sizes, err := parseSizes(*fig7Sizes)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig7(r, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig7(rows))
+		return nil
+	})
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

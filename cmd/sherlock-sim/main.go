@@ -1,0 +1,169 @@
+// Command sherlock-sim executes a CIM instruction program (as emitted by
+// the sherlock compiler, Fig. 4 format) bit-exactly on the array simulator.
+//
+// Usage:
+//
+//	sherlock-sim -prog program.cim -target 4x512x512 \
+//	    -inputs "a=1,b=0,c=1" [-dump "0:3:10,0:3:11"] [-faults -tech STT-MRAM -seed 7]
+//
+// Host-write instructions bind their named inputs from -inputs. -dump
+// reads back cells given as array:col:row triples; without -dump every
+// written cell is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sherlock/internal/device"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/sim"
+)
+
+func main() {
+	var (
+		progPath = flag.String("prog", "", "program file (required)")
+		target   = flag.String("target", "4x512x512", "fabric as ARRAYSxROWSxCOLS")
+		inputs   = flag.String("inputs", "", "comma-separated name=0|1 bindings")
+		dump     = flag.String("dump", "", "comma-separated array:col:row cells to read back")
+		faults   = flag.Bool("faults", false, "enable decision-failure fault injection")
+		tech     = flag.String("tech", "STT-MRAM", "technology for fault injection")
+		seed     = flag.Int64("seed", 1, "fault-injection seed")
+	)
+	flag.Parse()
+	if *progPath == "" {
+		fatal(fmt.Errorf("-prog is required"))
+	}
+	text, err := os.ReadFile(*progPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.ParseProgram(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	t, err := parseTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+	binds, err := parseInputs(*inputs)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := sim.NewMachine(t)
+	if *faults {
+		tv, err := device.ParseTechnology(*tech)
+		if err != nil {
+			fatal(err)
+		}
+		m.EnableFaultInjection(device.ParamsFor(tv), *seed)
+	}
+	if err := m.Run(prog, binds); err != nil {
+		fatal(err)
+	}
+	st := prog.ComputeStats()
+	fmt.Printf("# executed %d instructions (%d CIM reads, %d writes, %d host writes, %d shifts, %d nots)\n",
+		st.Total, st.CIMReads, st.Writes, st.HostWrites, st.Shifts, st.Nots)
+	if m.FaultCount() > 0 {
+		fmt.Printf("# %d sense faults injected\n", m.FaultCount())
+	}
+
+	if *dump != "" {
+		for _, spec := range strings.Split(*dump, ",") {
+			p, err := parsePlace(spec)
+			if err != nil {
+				fatal(err)
+			}
+			v, err := m.ReadOut(p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s = %s\n", p, bit(v))
+		}
+		return
+	}
+	// Dump every defined cell, in address order.
+	for a := 0; a < t.Arrays; a++ {
+		for c := 0; c < t.Cols; c++ {
+			for r := 0; r < t.Rows; r++ {
+				p := layout.Place{Array: a, Col: c, Row: r}
+				if v, ok := m.Cell(p); ok {
+					fmt.Printf("%s = %s\n", p, bit(v))
+				}
+			}
+		}
+	}
+}
+
+func bit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+func parseTarget(s string) (layout.Target, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return layout.Target{}, fmt.Errorf("target %q not of form AxRxC", s)
+	}
+	var nums [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return layout.Target{}, fmt.Errorf("target %q: %v", s, err)
+		}
+		nums[i] = v
+	}
+	t := layout.Target{Arrays: nums[0], Rows: nums[1], Cols: nums[2]}
+	return t, t.Validate()
+}
+
+func parseInputs(s string) (map[string]bool, error) {
+	out := make(map[string]bool)
+	if s == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad input binding %q", kv)
+		}
+		switch kv[eq+1:] {
+		case "0":
+			out[kv[:eq]] = false
+		case "1":
+			out[kv[:eq]] = true
+		default:
+			return nil, fmt.Errorf("input %q must be 0 or 1", kv)
+		}
+	}
+	return out, nil
+}
+
+func parsePlace(s string) (layout.Place, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) != 3 {
+		return layout.Place{}, fmt.Errorf("cell %q not of form array:col:row", s)
+	}
+	var nums [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return layout.Place{}, err
+		}
+		nums[i] = v
+	}
+	return layout.Place{Array: nums[0], Col: nums[1], Row: nums[2]}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sherlock-sim:", err)
+	os.Exit(1)
+}

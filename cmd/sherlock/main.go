@@ -1,0 +1,159 @@
+// Command sherlock is the end-to-end compiler CLI: it reads a C-subset
+// bulk-bitwise kernel, maps it onto a CIM array, and emits the instruction
+// program together with cost and reliability reports.
+//
+// Usage:
+//
+//	sherlock -in kernel.c [-tech STT-MRAM|ReRAM|PCM] [-size 512]
+//	         [-mapper naive|opt] [-mra] [-mra-fraction 1.0] [-nand]
+//	         [-o program.cim] [-stats]
+//
+// With no -o the program is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sherlock"
+	"sherlock/internal/sim"
+)
+
+func main() {
+	var (
+		inPath   = flag.String("in", "", "kernel source file (default: stdin)")
+		tech     = flag.String("tech", "STT-MRAM", "technology: STT-MRAM, ReRAM or PCM")
+		size     = flag.Int("size", 512, "squared array dimension")
+		arrays   = flag.Int("arrays", 4, "arrays available to the mapper")
+		mapper   = flag.String("mapper", "opt", "mapping algorithm: naive or opt")
+		mra      = flag.Bool("mra", false, "fuse same-type chains into multi-operand ops (MRA >= 2)")
+		mraFrac  = flag.Float64("mra-fraction", 1.0, "fraction of fusion opportunities taken")
+		nand     = flag.Bool("nand", false, "lower XOR/OR to NAND/NOT (reliable STT-MRAM variant)")
+		recycle  = flag.Bool("recycle", false, "reuse rows of dead intermediates (capacity extension)")
+		wear     = flag.Bool("wear", false, "print the per-cell write-pressure report to stderr")
+		timeline = flag.String("timeline", "", "write the parallel execution timeline CSV here")
+		outPath  = flag.String("o", "", "write the program here (default: stdout)")
+		stats    = flag.Bool("stats", false, "print mapping, cost and reliability statistics to stderr")
+	)
+	flag.Parse()
+
+	src, err := readSource(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	techVal, err := parseTech(*tech)
+	if err != nil {
+		fatal(err)
+	}
+	mk := sherlock.MapperOptimized
+	switch *mapper {
+	case "naive":
+		mk = sherlock.MapperNaive
+	case "opt", "optimized":
+	default:
+		fatal(fmt.Errorf("unknown mapper %q", *mapper))
+	}
+
+	c, err := sherlock.CompileC(src, sherlock.Options{
+		Tech:               techVal,
+		ArraySize:          *size,
+		Arrays:             *arrays,
+		Mapper:             mk,
+		MultiRowActivation: *mra,
+		MRAFraction:        *mraFrac,
+		NANDLowering:       *nand,
+		RecycleRows:        *recycle,
+		WearLeveling:       *recycle, // recycled rows rotate for endurance
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := io.WriteString(out, c.Program.String()); err != nil {
+		fatal(err)
+	}
+
+	if *timeline != "" {
+		events, _, err := c.Timeline()
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.WriteTimelineCSV(f, events); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *wear {
+		if rep, err := c.Wear(); err == nil {
+			fmt.Fprintf(os.Stderr, "wear: %d writes over %d cells, max %d/cell (mean %.2f)\n",
+				rep.TotalWrites, rep.CellsUsed, rep.MaxWritesPerCell, rep.MeanWritesPerCell)
+		}
+	}
+	if *stats {
+		st := c.Graph.ComputeStats()
+		fmt.Fprintf(os.Stderr, "DFG: %d ops, %d operands, critical path %d\n",
+			st.Ops, st.Operands, st.CriticalPath)
+		fmt.Fprintf(os.Stderr, "mapping: %d instructions, %d copies, %d columns",
+			c.Stats.Instructions, c.Stats.Copies, c.Stats.ColumnsUsed)
+		if c.Stats.Clusters > 0 {
+			fmt.Fprintf(os.Stderr, ", %d clusters, %d instructions merged away",
+				c.Stats.Clusters, c.Stats.MergedAway)
+		}
+		fmt.Fprintln(os.Stderr)
+		if cost, err := c.Cost(); err == nil {
+			line := fmt.Sprintf("cost: %.2f us latency, %.3f nJ energy (per lane)",
+				cost.LatencyUS(), cost.EnergyPJ/1e3)
+			if par, err := c.CostParallel(); err == nil && par.LatencyNS < cost.LatencyNS {
+				line += fmt.Sprintf("; %.2f us with multi-array overlap", par.LatencyUS())
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+		if rel, err := c.Reliability(); err == nil {
+			fmt.Fprintf(os.Stderr, "reliability: P_app = %.3e over %d sense decisions\n",
+				rel.PApp, rel.SenseDecisions)
+		}
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func parseTech(s string) (sherlock.Technology, error) {
+	switch s {
+	case "STT-MRAM", "stt", "stt-mram":
+		return sherlock.STTMRAM, nil
+	case "ReRAM", "reram":
+		return sherlock.ReRAM, nil
+	case "PCM", "pcm":
+		return sherlock.PCM, nil
+	}
+	return 0, fmt.Errorf("unknown technology %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sherlock:", err)
+	os.Exit(1)
+}

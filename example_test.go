@@ -1,0 +1,86 @@
+package sherlock_test
+
+import (
+	"fmt"
+	"log"
+
+	"sherlock"
+)
+
+// The full flow: compile a C kernel, run it on the array simulator, and
+// inspect cost and reliability.
+func Example() {
+	src := `void k(word a, word b, word *out) { *out = a & ~b; }`
+	compiled, err := sherlock.CompileC(src, sherlock.Options{
+		Tech:      sherlock.ReRAM,
+		ArraySize: 128,
+		Mapper:    sherlock.MapperOptimized,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outs, err := compiled.Run(map[string]bool{"a": true, "b": false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("a & ~b =", outs["out"])
+	// Output: a & ~b = true
+}
+
+// Kernels can be built programmatically with the Builder front-end, which
+// folds constants and shares common subexpressions.
+func ExampleBuilder() {
+	b := sherlock.NewBuilder()
+	x, y := b.Input("x"), b.Input("y")
+	majority3 := b.Or(b.And(x, y), b.And(b.Xor(x, y), b.Input("z")))
+	b.Output("maj", majority3)
+
+	compiled, err := sherlock.CompileGraph(b.Graph(), sherlock.Options{ArraySize: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outs, err := compiled.Run(map[string]bool{"x": true, "y": false, "z": true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("majority(1,0,1) =", outs["maj"])
+	// Output: majority(1,0,1) = true
+}
+
+// MultiRowActivation fuses same-type chains into multi-operand scouting
+// reads, trading sense margin for fewer operations (Sec. 3.3.3).
+func ExampleOptions_multiRowActivation() {
+	b := sherlock.NewBuilder()
+	b.DisableCSE = true
+	acc := b.Input("v0")
+	for i := 1; i < 4; i++ {
+		acc = b.And(acc, b.Input(fmt.Sprintf("v%d", i)))
+	}
+	b.Output("all", acc)
+
+	plain, _ := sherlock.CompileGraph(b.Graph(), sherlock.Options{ArraySize: 128})
+	fused, _ := sherlock.CompileGraph(b.Graph(), sherlock.Options{
+		ArraySize:          128,
+		MultiRowActivation: true,
+	})
+	fmt.Println("program shrinks:", len(fused.Program) < len(plain.Program))
+	// Output: program shrinks: true
+}
+
+// The generated program uses the paper's instruction format and can be
+// printed, stored, and re-parsed.
+func ExampleCompiled_program() {
+	compiled, err := sherlock.CompileC(
+		`void k(word p, word q, word *r) { *r = p ^ q; }`,
+		sherlock.Options{ArraySize: 64, Arrays: 1},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(compiled.Program.String())
+	// Output:
+	// Write [0][0][0] <p>
+	// Write [0][0][1] <q>
+	// Read [0][0][0,1] [XOR]
+	// Write [0][0][2]
+}

@@ -1,0 +1,3 @@
+module sherlock
+
+go 1.22

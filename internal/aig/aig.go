@@ -1,0 +1,338 @@
+// Package aig implements a small and-inverter-graph logic synthesizer: it
+// turns arbitrary truth tables into AND/NOT networks via memoized Shannon
+// decomposition with structural hashing.
+//
+// Sherlock uses it to generate the bit-sliced AES S-box circuit (the role
+// the Usuba bitslicing compiler plays in the paper): each of the eight
+// S-box output bits is an 8-input boolean function synthesized into a
+// shared gate network, which is then emitted into the workload DFG.
+package aig
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"sherlock/internal/dfg"
+)
+
+// Lit is a literal: a node index with a complement flag in the low bit.
+type Lit uint32
+
+// Const0 and Const1 are the constant literals (node 0).
+const (
+	Const0 Lit = 0
+	Const1 Lit = 1
+)
+
+func (l Lit) node() uint32     { return uint32(l) >> 1 }
+func (l Lit) complement() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// IsConst reports whether the literal is one of the constants.
+func (l Lit) IsConst() bool { return l.node() == 0 }
+
+type nodeKind uint8
+
+const (
+	kindConst nodeKind = iota
+	kindInput
+	kindAnd
+)
+
+type node struct {
+	kind  nodeKind
+	input int // kindInput: input index
+	a, b  Lit // kindAnd: operands, a <= b
+}
+
+// Graph is an and-inverter graph over a fixed set of primary inputs.
+type Graph struct {
+	nInputs int
+	nodes   []node
+	strash  map[[2]Lit]Lit
+	memo    map[string]Lit // truth-table -> literal, for Synthesize
+}
+
+// New returns an empty graph with n primary inputs.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("aig: negative input count %d", n))
+	}
+	g := &Graph{
+		nInputs: n,
+		nodes:   []node{{kind: kindConst}},
+		strash:  make(map[[2]Lit]Lit),
+		memo:    make(map[string]Lit),
+	}
+	for i := 0; i < n; i++ {
+		g.nodes = append(g.nodes, node{kind: kindInput, input: i})
+	}
+	return g
+}
+
+// NumInputs returns the number of primary inputs.
+func (g *Graph) NumInputs() int { return g.nInputs }
+
+// NumAnds returns the number of AND nodes (circuit size).
+func (g *Graph) NumAnds() int { return len(g.nodes) - 1 - g.nInputs }
+
+// Input returns the literal of primary input i.
+func (g *Graph) Input(i int) Lit {
+	if i < 0 || i >= g.nInputs {
+		panic(fmt.Sprintf("aig: input %d outside [0,%d)", i, g.nInputs))
+	}
+	return Lit(uint32(1+i) << 1)
+}
+
+// Const returns a constant literal.
+func (g *Graph) Const(v bool) Lit {
+	if v {
+		return Const1
+	}
+	return Const0
+}
+
+// And returns a AND b, folding constants, idempotence, and complements, and
+// sharing structurally identical nodes.
+func (g *Graph) And(a, b Lit) Lit {
+	switch {
+	case a == Const0 || b == Const0:
+		return Const0
+	case a == Const1:
+		return b
+	case b == Const1:
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return Const0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Lit{a, b}
+	if l, ok := g.strash[key]; ok {
+		return l
+	}
+	g.nodes = append(g.nodes, node{kind: kindAnd, a: a, b: b})
+	l := Lit(uint32(len(g.nodes)-1) << 1)
+	g.strash[key] = l
+	return l
+}
+
+// Or returns a OR b.
+func (g *Graph) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a XOR b (three AND nodes worst case).
+func (g *Graph) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Mux returns sel ? hi : lo.
+func (g *Graph) Mux(sel, hi, lo Lit) Lit {
+	switch {
+	case hi == lo:
+		return hi
+	case hi == Const1 && lo == Const0:
+		return sel
+	case hi == Const0 && lo == Const1:
+		return sel.Not()
+	case lo == Const0:
+		return g.And(sel, hi)
+	case hi == Const0:
+		return g.And(sel.Not(), lo)
+	case lo == Const1:
+		return g.Or(sel.Not(), hi)
+	case hi == Const1:
+		return g.Or(sel, lo)
+	}
+	return g.Or(g.And(sel, hi), g.And(sel.Not(), lo))
+}
+
+// Eval computes the literal's value under the input assignment.
+func (g *Graph) Eval(l Lit, inputs []bool) bool {
+	if len(inputs) != g.nInputs {
+		panic(fmt.Sprintf("aig: %d inputs for %d-input graph", len(inputs), g.nInputs))
+	}
+	vals := make([]bool, len(g.nodes))
+	for i := 1; i < len(g.nodes); i++ {
+		n := g.nodes[i]
+		switch n.kind {
+		case kindInput:
+			vals[i] = inputs[n.input]
+		case kindAnd:
+			va := vals[n.a.node()] != n.a.complement()
+			vb := vals[n.b.node()] != n.b.complement()
+			vals[i] = va && vb
+		}
+	}
+	return vals[l.node()] != l.complement()
+}
+
+// TT is a truth table over n variables: bit i of the table is the function
+// value at input assignment i, where variable v contributes bit v of i.
+type TT struct {
+	n    int
+	bits []uint64
+}
+
+// NewTT returns an all-false table over n <= 16 variables.
+func NewTT(n int) TT {
+	if n < 0 || n > 16 {
+		panic(fmt.Sprintf("aig: unsupported truth-table arity %d", n))
+	}
+	words := 1
+	if n > 6 {
+		words = 1 << uint(n-6)
+	}
+	return TT{n: n, bits: make([]uint64, words)}
+}
+
+// TTFromFunc samples f over all 2^n assignments.
+func TTFromFunc(n int, f func(assignment uint) bool) TT {
+	t := NewTT(n)
+	for i := uint(0); i < 1<<uint(n); i++ {
+		if f(i) {
+			t.Set(i, true)
+		}
+	}
+	return t
+}
+
+// Get returns the function value at the assignment.
+func (t TT) Get(i uint) bool {
+	return t.bits[i/64]>>(i%64)&1 == 1
+}
+
+// Set sets the function value at the assignment.
+func (t *TT) Set(i uint, v bool) {
+	if v {
+		t.bits[i/64] |= 1 << (i % 64)
+	} else {
+		t.bits[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// N returns the table's variable count.
+func (t TT) N() int { return t.n }
+
+func (t TT) key() string {
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(t.n))
+	for _, w := range t.bits {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(w, 16))
+	}
+	return sb.String()
+}
+
+func (t TT) isConst() (bool, bool) {
+	size := uint(1) << uint(t.n)
+	ones := 0
+	for i, w := range t.bits {
+		if uint(i*64) >= size {
+			break
+		}
+		valid := w
+		if size-uint(i*64) < 64 {
+			valid &= (1 << (size - uint(i*64))) - 1
+		}
+		ones += bits.OnesCount64(valid)
+	}
+	if ones == 0 {
+		return true, false
+	}
+	if uint(ones) == size {
+		return true, true
+	}
+	return false, false
+}
+
+// cofactors splits on the top variable (index n-1): lo is the function with
+// x_{n-1}=0, hi with x_{n-1}=1; both over n-1 variables.
+func (t TT) cofactors() (lo, hi TT) {
+	m := t.n - 1
+	lo, hi = NewTT(m), NewTT(m)
+	half := uint(1) << uint(m)
+	for i := uint(0); i < half; i++ {
+		lo.Set(i, t.Get(i))
+		hi.Set(i, t.Get(i+half))
+	}
+	return lo, hi
+}
+
+// Synthesize builds a circuit computing the truth table over the graph's
+// inputs (table variable v = graph input v). Tables over fewer variables
+// than the graph has inputs use the low-indexed inputs. Equal subfunctions
+// are shared across calls through the graph's memo table.
+func (g *Graph) Synthesize(t TT) Lit {
+	if t.n > g.nInputs {
+		panic(fmt.Sprintf("aig: %d-variable table on %d-input graph", t.n, g.nInputs))
+	}
+	if c, v := t.isConst(); c {
+		return g.Const(v)
+	}
+	key := t.key()
+	if l, ok := g.memo[key]; ok {
+		return l
+	}
+	lo, hi := t.cofactors()
+	l := g.Mux(g.Input(t.n-1), g.Synthesize(hi), g.Synthesize(lo))
+	g.memo[key] = l
+	return l
+}
+
+// Emit lowers the cone of out into a DFG via the builder, mapping graph
+// input i to inputs[i]. Complemented edges become NOT nodes (folded and
+// shared by the builder).
+func (g *Graph) Emit(b *dfg.Builder, inputs []dfg.Val, out Lit) dfg.Val {
+	if len(inputs) != g.nInputs {
+		panic(fmt.Sprintf("aig: %d DFG inputs for %d-input graph", len(inputs), g.nInputs))
+	}
+	vals := make([]dfg.Val, len(g.nodes))
+	have := make([]bool, len(g.nodes))
+	var build func(n uint32) dfg.Val
+	build = func(n uint32) dfg.Val {
+		if have[n] {
+			return vals[n]
+		}
+		nd := g.nodes[n]
+		var v dfg.Val
+		switch nd.kind {
+		case kindConst:
+			v = b.Const(false)
+		case kindInput:
+			v = inputs[nd.input]
+		case kindAnd:
+			va := build(nd.a.node())
+			if nd.a.complement() {
+				va = b.Not(va)
+			}
+			vb := build(nd.b.node())
+			if nd.b.complement() {
+				vb = b.Not(vb)
+			}
+			v = b.And(va, vb)
+		}
+		vals[n], have[n] = v, true
+		return v
+	}
+	v := build(out.node())
+	if out.complement() {
+		v = b.Not(v)
+	}
+	return v
+}
+
+// EmitAll lowers several outputs, sharing the common cone.
+func (g *Graph) EmitAll(b *dfg.Builder, inputs []dfg.Val, outs []Lit) []dfg.Val {
+	res := make([]dfg.Val, len(outs))
+	for i, o := range outs {
+		res[i] = g.Emit(b, inputs, o)
+	}
+	return res
+}

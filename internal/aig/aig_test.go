@@ -1,0 +1,243 @@
+package aig
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/dfg"
+)
+
+func TestAndFolding(t *testing.T) {
+	g := New(2)
+	a, b := g.Input(0), g.Input(1)
+	if g.And(a, Const0) != Const0 {
+		t.Error("AND with 0")
+	}
+	if g.And(Const1, b) != b {
+		t.Error("AND with 1")
+	}
+	if g.And(a, a) != a {
+		t.Error("idempotence")
+	}
+	if g.And(a, a.Not()) != Const0 {
+		t.Error("complement annihilation")
+	}
+	x := g.And(a, b)
+	y := g.And(b, a)
+	if x != y {
+		t.Error("structural hashing missed commuted AND")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", g.NumAnds())
+	}
+}
+
+func TestEvalBasicGates(t *testing.T) {
+	g := New(2)
+	a, b := g.Input(0), g.Input(1)
+	and, or, xor := g.And(a, b), g.Or(a, b), g.Xor(a, b)
+	for i := 0; i < 4; i++ {
+		va, vb := i&1 == 1, i&2 == 2
+		in := []bool{va, vb}
+		if g.Eval(and, in) != (va && vb) {
+			t.Errorf("AND(%v,%v)", va, vb)
+		}
+		if g.Eval(or, in) != (va || vb) {
+			t.Errorf("OR(%v,%v)", va, vb)
+		}
+		if g.Eval(xor, in) != (va != vb) {
+			t.Errorf("XOR(%v,%v)", va, vb)
+		}
+	}
+}
+
+func TestMuxCases(t *testing.T) {
+	g := New(3)
+	s, a, b := g.Input(0), g.Input(1), g.Input(2)
+	cases := []struct {
+		hi, lo Lit
+	}{
+		{a, b}, {a, a}, {Const1, Const0}, {Const0, Const1},
+		{a, Const0}, {Const0, a}, {a, Const1}, {Const1, a},
+	}
+	for ci, c := range cases {
+		m := g.Mux(s, c.hi, c.lo)
+		for i := 0; i < 8; i++ {
+			in := []bool{i&1 == 1, i&2 == 2, i&4 == 4}
+			want := g.Eval(c.lo, in)
+			if in[0] {
+				want = g.Eval(c.hi, in)
+			}
+			if g.Eval(m, in) != want {
+				t.Errorf("case %d assignment %d wrong", ci, i)
+			}
+		}
+	}
+}
+
+func TestTTBasics(t *testing.T) {
+	tt := NewTT(3)
+	tt.Set(5, true)
+	if !tt.Get(5) || tt.Get(4) {
+		t.Error("Set/Get wrong")
+	}
+	if c, _ := tt.isConst(); c {
+		t.Error("non-constant table reported constant")
+	}
+	zero := NewTT(3)
+	if c, v := zero.isConst(); !c || v {
+		t.Error("zero table not detected")
+	}
+	ones := TTFromFunc(3, func(uint) bool { return true })
+	if c, v := ones.isConst(); !c || !v {
+		t.Error("ones table not detected")
+	}
+	// Large (8-var) tables span multiple words.
+	big := TTFromFunc(8, func(i uint) bool { return i == 255 })
+	if !big.Get(255) || big.Get(0) {
+		t.Error("8-var table wrong")
+	}
+	if c, _ := big.isConst(); c {
+		t.Error("8-var one-hot table reported constant")
+	}
+}
+
+func TestSynthesizeSingleVariable(t *testing.T) {
+	g := New(1)
+	ident := TTFromFunc(1, func(i uint) bool { return i == 1 })
+	if got := g.Synthesize(ident); got != g.Input(0) {
+		t.Errorf("identity synthesized to %v", got)
+	}
+	inv := TTFromFunc(1, func(i uint) bool { return i == 0 })
+	if got := g.Synthesize(inv); got != g.Input(0).Not() {
+		t.Errorf("inverter synthesized to %v", got)
+	}
+	if g.NumAnds() != 0 {
+		t.Errorf("trivial functions created %d ANDs", g.NumAnds())
+	}
+}
+
+func TestSynthesizeRandomFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 4, 5, 6, 8} {
+		for trial := 0; trial < 4; trial++ {
+			tt := TTFromFunc(n, func(uint) bool { return rng.Intn(2) == 1 })
+			g := New(n)
+			out := g.Synthesize(tt)
+			for i := uint(0); i < 1<<uint(n); i++ {
+				in := make([]bool, n)
+				for v := 0; v < n; v++ {
+					in[v] = i>>uint(v)&1 == 1
+				}
+				if g.Eval(out, in) != tt.Get(i) {
+					t.Fatalf("n=%d trial=%d: mismatch at assignment %d", n, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeSharesAcrossOutputs(t *testing.T) {
+	// Synthesizing the same table twice must not grow the graph.
+	tt := TTFromFunc(4, func(i uint) bool { return i%3 == 0 })
+	g := New(4)
+	a := g.Synthesize(tt)
+	size := g.NumAnds()
+	b := g.Synthesize(tt)
+	if a != b || g.NumAnds() != size {
+		t.Error("memoization failed")
+	}
+}
+
+func TestEmitMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tt := TTFromFunc(5, func(uint) bool { return rng.Intn(2) == 1 })
+	g := New(5)
+	out := g.Synthesize(tt)
+
+	b := dfg.NewBuilder()
+	ins := make([]dfg.Val, 5)
+	for i := range ins {
+		ins[i] = b.Input(fmt.Sprintf("x%d", i))
+	}
+	v := g.Emit(b, ins, out)
+	if c, _ := v.IsConst(); c {
+		t.Fatal("non-constant function emitted as constant")
+	}
+	b.Output("f", v)
+	graph := b.Graph()
+
+	for i := uint(0); i < 32; i++ {
+		in := make(map[string]bool, 5)
+		bits := make([]bool, 5)
+		for vbit := 0; vbit < 5; vbit++ {
+			bits[vbit] = i>>uint(vbit)&1 == 1
+			in[fmt.Sprintf("x%d", vbit)] = bits[vbit]
+		}
+		res, err := dfg.EvaluateByName(graph, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res["f"] != g.Eval(out, bits) {
+			t.Fatalf("DFG emission diverges at %d", i)
+		}
+	}
+}
+
+func TestEmitAllSharesThroughCSE(t *testing.T) {
+	// Two outputs with a large shared cone should produce fewer DFG ops
+	// than the sum of their separate emissions.
+	g := New(6)
+	var f1, f2 Lit
+	{
+		rng := rand.New(rand.NewSource(17))
+		shared := TTFromFunc(6, func(uint) bool { return rng.Intn(2) == 1 })
+		base := g.Synthesize(shared)
+		f1 = g.And(base, g.Input(0))
+		f2 = g.And(base, g.Input(1))
+	}
+	b := dfg.NewBuilder()
+	ins := make([]dfg.Val, 6)
+	for i := range ins {
+		ins[i] = b.Input(fmt.Sprintf("x%d", i))
+	}
+	outs := g.EmitAll(b, ins, []Lit{f1, f2})
+	b.Output("a", outs[0])
+	b.Output("c", outs[1])
+	total := b.Graph().ComputeStats().Ops
+	// The shared cone must be emitted once: total ops ~ cone + 2, not
+	// 2*cone. Loose bound: less than 1.5x the single-output size.
+	single := func() int {
+		b2 := dfg.NewBuilder()
+		ins2 := make([]dfg.Val, 6)
+		for i := range ins2 {
+			ins2[i] = b2.Input(fmt.Sprintf("x%d", i))
+		}
+		b2.Output("a", g.Emit(b2, ins2, f1))
+		return b2.Graph().ComputeStats().Ops
+	}()
+	if total > single+single/2 {
+		t.Errorf("no sharing: total %d vs single %d", total, single)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := New(2)
+	for _, f := range []func(){
+		func() { g.Input(2) },
+		func() { g.Eval(Const1, []bool{true}) },
+		func() { NewTT(17) },
+		func() { g.Synthesize(NewTT(3)) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

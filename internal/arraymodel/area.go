@@ -1,0 +1,58 @@
+package arraymodel
+
+import "sherlock/internal/device"
+
+// Area model — the third quantity NVSim reports alongside latency and
+// energy. Cell areas follow the standard F^2 methodology (F = feature
+// size): crosspoint ReRAM/PCM cells reach 4F^2, one-transistor STT-MRAM
+// cells are transistor-limited; periphery (decoders, sense amplifiers, row
+// buffer, drivers) is charged per row and per column.
+
+// Feature size of the Table 1 process (22FDX), in micrometers.
+const featureUM = 0.022
+
+type areaCosts struct {
+	cellF2 float64 // cell footprint in F^2
+}
+
+func areaFor(t device.Technology) areaCosts {
+	switch t {
+	case device.STTMRAM:
+		return areaCosts{cellF2: 30} // 1T-1MTJ, access-transistor limited
+	case device.ReRAM:
+		return areaCosts{cellF2: 4} // crosspoint
+	case device.PCM:
+		return areaCosts{cellF2: 4}
+	}
+	panic("arraymodel: unknown technology")
+}
+
+// Periphery constants, in square micrometers.
+const (
+	rowPeripheryUM2  = 1.1 // wordline driver + decoder slice per row
+	colPeripheryUM2  = 2.4 // sense amplifier + reference mux + buffer cell per column
+	basePeripheryUM2 = 120 // controller, charge pumps, IO per array
+)
+
+// CellAreaUM2 returns one cell's footprint.
+func (m *CostModel) CellAreaUM2() float64 {
+	return areaFor(m.cfg.Tech).cellF2 * featureUM * featureUM
+}
+
+// ArrayAreaUM2 returns the full array's silicon area: the cell matrix plus
+// row/column periphery. CIM-capable columns carry the per-column reference
+// multiplexer that enables per-column operation selection (Sec. 2.1).
+func (m *CostModel) ArrayAreaUM2() float64 {
+	matrix := m.CellAreaUM2() * float64(m.cfg.Rows) * float64(m.cfg.Cols)
+	periphery := rowPeripheryUM2*float64(m.cfg.Rows) +
+		colPeripheryUM2*float64(m.cfg.Cols) +
+		basePeripheryUM2
+	return matrix + periphery
+}
+
+// AreaEfficiency returns the cell matrix's share of the total area (how
+// much silicon actually stores/computes).
+func (m *CostModel) AreaEfficiency() float64 {
+	matrix := m.CellAreaUM2() * float64(m.cfg.Rows) * float64(m.cfg.Cols)
+	return matrix / m.ArrayAreaUM2()
+}

@@ -1,0 +1,191 @@
+// Package arraymodel provides the array-level latency and energy model of
+// the target CIM macro — the role NVSim [13] plays in the paper's toolchain.
+//
+// The model is analytical: word-line/bit-line RC delays scale linearly with
+// the array dimension, the decoder logarithmically, and sensing and write
+// pulses are technology properties. Energies decompose into a per-activation
+// row overhead (decoder + word-line charging, scaling with the array
+// dimension) plus per-active-column cell and sense-amplifier energy. The
+// constants are calibrated to land in the latency/energy ranges NVSim
+// reports for the Table 1 configurations; the scaling *shape* across array
+// sizes and technologies is what the experiments rely on.
+package arraymodel
+
+import (
+	"fmt"
+	"math"
+
+	"sherlock/internal/device"
+)
+
+// Config describes one CIM array configuration (a Table 1 row).
+type Config struct {
+	Tech device.Technology
+	Rows int // m
+	Cols int // n
+	// DataWidth is the macro's SIMD lane count (bits processed per
+	// instruction slot); Table 1 pairs a squared array of dim N with a
+	// data width of 4N.
+	DataWidth int
+}
+
+// DefaultConfig returns the Table 1 configuration for a squared array of
+// dimension n (128, 256, 512 or 1024): data width 4n.
+func DefaultConfig(tech device.Technology, n int) Config {
+	return Config{Tech: tech, Rows: n, Cols: n, DataWidth: 4 * n}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Rows < 2 || c.Cols < 1 {
+		return fmt.Errorf("arraymodel: invalid dimensions %dx%d", c.Rows, c.Cols)
+	}
+	if c.DataWidth < 1 {
+		return fmt.Errorf("arraymodel: invalid data width %d", c.DataWidth)
+	}
+	return nil
+}
+
+// Technology-dependent timing/energy primitives. Values are representative
+// of published device characteristics: STT-MRAM switches in a few ns at
+// moderate energy, filamentary ReRAM needs tens-of-ns SET/RESET pulses, PCM
+// crystallization is slowest. Sense time follows the conductance margin.
+type techCosts struct {
+	sensePulseNS float64 // base sense-amplifier resolution time
+	writePulseNS float64 // programming pulse
+	cellReadPJ   float64 // per activated cell per read
+	cellWritePJ  float64 // per written cell
+	saPJ         float64 // per sense amplifier firing
+}
+
+func costsFor(t device.Technology) techCosts {
+	switch t {
+	case device.STTMRAM:
+		return techCosts{sensePulseNS: 1.0, writePulseNS: 4.0, cellReadPJ: 0.010, cellWritePJ: 0.25, saPJ: 0.012}
+	case device.ReRAM:
+		return techCosts{sensePulseNS: 2.0, writePulseNS: 42.0, cellReadPJ: 0.030, cellWritePJ: 1.10, saPJ: 0.015}
+	case device.PCM:
+		return techCosts{sensePulseNS: 2.5, writePulseNS: 120.0, cellReadPJ: 0.030, cellWritePJ: 6.0, saPJ: 0.015}
+	}
+	panic(fmt.Sprintf("arraymodel: unknown technology %v", t))
+}
+
+// Array-geometry scaling constants.
+const (
+	decodeNSPerLevel = 0.15  // decoder delay per address level (log2 N)
+	wireNSPerCell    = 0.004 // word-/bit-line RC per cell along the line
+	rowOverheadPJ    = 0.002 // decoder + word-line charge per cell on the row
+	shiftNSPerStage  = 0.20  // row-buffer barrel shifter per stage (log2 d)
+	shiftPJPerCol    = 0.004 // per column latched through the shifter
+	bufferNotNS      = 0.30  // row-buffer CMOS inversion
+	bufferNotPJ      = 0.002 // per column inverted
+	busNSPerWord     = 1.5   // host <-> array bus transfer per data word
+	busPJPerCol      = 0.80  // host bus energy per transferred column bit
+)
+
+// CostModel computes per-instruction latency and energy for one array
+// configuration.
+type CostModel struct {
+	cfg   Config
+	costs techCosts
+}
+
+// New builds a cost model, panicking on invalid configurations (they are
+// programmer errors, not runtime conditions).
+func New(cfg Config) *CostModel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &CostModel{cfg: cfg, costs: costsFor(cfg.Tech)}
+}
+
+// Config returns the configuration the model was built for.
+func (m *CostModel) Config() Config { return m.cfg }
+
+func (m *CostModel) decodeNS() float64 {
+	return decodeNSPerLevel * math.Log2(float64(m.cfg.Rows))
+}
+
+func (m *CostModel) wireNS() float64 {
+	// One word-line traversal plus one bit-line traversal.
+	return wireNSPerCell * float64(m.cfg.Cols+m.cfg.Rows) / 2
+}
+
+// ReadNS returns the latency of a (scouting) read activating rows
+// simultaneous word lines (1 = plain row-buffer load). Multi-row activation
+// adds a small margin-recovery term per extra row: the shrinking sense
+// margin needs longer integration.
+func (m *CostModel) ReadNS(rows int) float64 {
+	if rows < 1 {
+		panic(fmt.Sprintf("arraymodel: read with %d rows", rows))
+	}
+	sense := m.costs.sensePulseNS * (1 + 0.15*float64(rows-1))
+	return m.decodeNS() + m.wireNS() + sense
+}
+
+// WriteNS returns the latency of writing the row buffer back into one row.
+func (m *CostModel) WriteNS() float64 {
+	return m.decodeNS() + m.wireNS() + m.costs.writePulseNS
+}
+
+// HostWriteNS returns the latency of loading input data from the host bus
+// into a row (bus transfer plus programming).
+func (m *CostModel) HostWriteNS() float64 {
+	return busNSPerWord + m.WriteNS()
+}
+
+// ShiftNS returns the latency of rotating the row buffer by dist columns
+// through a barrel shifter.
+func (m *CostModel) ShiftNS(dist int) float64 {
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	stages := math.Ceil(math.Log2(float64(dist + 1)))
+	return shiftNSPerStage * stages
+}
+
+// NotNS returns the latency of the row-buffer CMOS inversion.
+func (m *CostModel) NotNS() float64 { return bufferNotNS }
+
+// ReadEnergyPJ returns the energy of a (scouting) read touching activeCols
+// columns with rows simultaneously activated word lines.
+func (m *CostModel) ReadEnergyPJ(activeCols, rows int) float64 {
+	if activeCols < 1 || rows < 1 {
+		panic(fmt.Sprintf("arraymodel: read energy with cols=%d rows=%d", activeCols, rows))
+	}
+	rowOvh := rowOverheadPJ * float64(m.cfg.Cols) * float64(rows)
+	cells := m.costs.cellReadPJ * float64(activeCols*rows)
+	sas := m.costs.saPJ * float64(activeCols)
+	return rowOvh + cells + sas
+}
+
+// WriteEnergyPJ returns the energy of programming activeCols cells of one
+// row from the row buffer.
+func (m *CostModel) WriteEnergyPJ(activeCols int) float64 {
+	if activeCols < 1 {
+		panic(fmt.Sprintf("arraymodel: write energy with cols=%d", activeCols))
+	}
+	rowOvh := rowOverheadPJ * float64(m.cfg.Cols)
+	return rowOvh + m.costs.cellWritePJ*float64(activeCols)
+}
+
+// HostWriteEnergyPJ adds the host-bus transfer energy to a write.
+func (m *CostModel) HostWriteEnergyPJ(activeCols int) float64 {
+	return busPJPerCol*float64(activeCols) + m.WriteEnergyPJ(activeCols)
+}
+
+// ShiftEnergyPJ returns the energy of a row-buffer rotation by dist.
+func (m *CostModel) ShiftEnergyPJ(dist int) float64 {
+	if dist == 0 {
+		return 0
+	}
+	return shiftPJPerCol * float64(m.cfg.Cols)
+}
+
+// NotEnergyPJ returns the energy of inverting activeCols row-buffer bits.
+func (m *CostModel) NotEnergyPJ(activeCols int) float64 {
+	return bufferNotPJ * float64(activeCols)
+}

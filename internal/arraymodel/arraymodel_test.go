@@ -1,0 +1,164 @@
+package arraymodel
+
+import (
+	"testing"
+
+	"sherlock/internal/device"
+)
+
+func TestDefaultConfigTable1(t *testing.T) {
+	// Table 1 pairs: 128{512} 256{1024} 512{2048} 1024{4096}.
+	for _, n := range []int{128, 256, 512, 1024} {
+		c := DefaultConfig(device.ReRAM, n)
+		if c.DataWidth != 4*n {
+			t.Errorf("data width for %d = %d, want %d", n, c.DataWidth, 4*n)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Tech: device.ReRAM, Rows: 1, Cols: 8, DataWidth: 8},
+		{Tech: device.ReRAM, Rows: 8, Cols: 0, DataWidth: 8},
+		{Tech: device.ReRAM, Rows: 8, Cols: 8, DataWidth: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestLatencyShapes(t *testing.T) {
+	m := New(DefaultConfig(device.STTMRAM, 512))
+	if m.WriteNS() <= m.ReadNS(1) {
+		t.Error("NVM write must be slower than read")
+	}
+	if m.ReadNS(4) <= m.ReadNS(2) {
+		t.Error("more activated rows must cost sense time")
+	}
+	if m.ShiftNS(0) != 0 {
+		t.Error("zero shift should be free")
+	}
+	if m.ShiftNS(16) <= m.ShiftNS(1) {
+		t.Error("longer shifts need more barrel stages")
+	}
+	if m.ShiftNS(-4) != m.ShiftNS(4) {
+		t.Error("shift latency must be direction-symmetric")
+	}
+	if m.HostWriteNS() <= m.WriteNS() {
+		t.Error("host write includes bus time")
+	}
+}
+
+func TestLatencyScalesWithArraySize(t *testing.T) {
+	small := New(DefaultConfig(device.ReRAM, 128))
+	large := New(DefaultConfig(device.ReRAM, 1024))
+	if large.ReadNS(2) <= small.ReadNS(2) {
+		t.Error("bigger arrays have longer lines: read latency must grow")
+	}
+	if large.WriteNS() <= small.WriteNS() {
+		t.Error("bigger arrays have longer lines: write latency must grow")
+	}
+}
+
+func TestTechnologyLatencyOrdering(t *testing.T) {
+	stt := New(DefaultConfig(device.STTMRAM, 512))
+	rer := New(DefaultConfig(device.ReRAM, 512))
+	pcm := New(DefaultConfig(device.PCM, 512))
+	if !(stt.WriteNS() < rer.WriteNS() && rer.WriteNS() < pcm.WriteNS()) {
+		t.Errorf("write latency ordering broken: STT %.1f ReRAM %.1f PCM %.1f",
+			stt.WriteNS(), rer.WriteNS(), pcm.WriteNS())
+	}
+	// The AES rows of Table 2 show ReRAM roughly an order of magnitude
+	// slower than STT-MRAM on write-heavy kernels.
+	ratio := rer.WriteNS() / stt.WriteNS()
+	if ratio < 4 || ratio > 20 {
+		t.Errorf("ReRAM/STT write ratio = %.1f, want within [4,20]", ratio)
+	}
+}
+
+func TestEnergyShapes(t *testing.T) {
+	m := New(DefaultConfig(device.ReRAM, 512))
+	if m.WriteEnergyPJ(16) <= m.ReadEnergyPJ(16, 1) {
+		t.Error("NVM write energy must exceed read energy")
+	}
+	if m.ReadEnergyPJ(32, 2) <= m.ReadEnergyPJ(16, 2) {
+		t.Error("energy must grow with active columns")
+	}
+	if m.ReadEnergyPJ(16, 4) <= m.ReadEnergyPJ(16, 2) {
+		t.Error("energy must grow with activated rows")
+	}
+	if m.HostWriteEnergyPJ(16) <= m.WriteEnergyPJ(16) {
+		t.Error("host write includes bus energy")
+	}
+	if m.ShiftEnergyPJ(0) != 0 {
+		t.Error("zero shift consumes no energy")
+	}
+	if m.NotEnergyPJ(8) <= 0 {
+		t.Error("NOT energy must be positive")
+	}
+}
+
+func TestPanicsOnInvalidArguments(t *testing.T) {
+	m := New(DefaultConfig(device.STTMRAM, 128))
+	for _, f := range []func(){
+		func() { m.ReadNS(0) },
+		func() { m.ReadEnergyPJ(0, 1) },
+		func() { m.ReadEnergyPJ(4, 0) },
+		func() { m.WriteEnergyPJ(0) },
+		func() { New(Config{Tech: device.ReRAM, Rows: 0, Cols: 0, DataWidth: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMagnitudePlausibility(t *testing.T) {
+	// Reads a few ns, writes tens of ns, per-instruction energies in the
+	// pJ..nJ range — the NVSim ballpark for these geometries.
+	m := New(DefaultConfig(device.ReRAM, 1024))
+	if r := m.ReadNS(2); r < 1 || r > 20 {
+		t.Errorf("ReRAM 1024 scouting read = %.2f ns, want 1..20", r)
+	}
+	if w := m.WriteNS(); w < 20 || w > 100 {
+		t.Errorf("ReRAM 1024 write = %.2f ns, want 20..100", w)
+	}
+	if e := m.WriteEnergyPJ(512); e < 10 || e > 10000 {
+		t.Errorf("ReRAM 1024 write energy = %.2f pJ, want 10..10000", e)
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	re := New(DefaultConfig(device.ReRAM, 512))
+	stt := New(DefaultConfig(device.STTMRAM, 512))
+	if stt.CellAreaUM2() <= re.CellAreaUM2() {
+		t.Error("1T-1MTJ STT-MRAM cells must be larger than crosspoint ReRAM cells")
+	}
+	if re.ArrayAreaUM2() <= 0 {
+		t.Fatal("non-positive array area")
+	}
+	// Bigger arrays amortize periphery: efficiency must grow with size.
+	small := New(DefaultConfig(device.ReRAM, 128))
+	if re.AreaEfficiency() <= small.AreaEfficiency() {
+		t.Errorf("area efficiency should grow with array size: %f vs %f",
+			re.AreaEfficiency(), small.AreaEfficiency())
+	}
+	if eff := re.AreaEfficiency(); eff <= 0 || eff >= 1 {
+		t.Errorf("efficiency %f outside (0,1)", eff)
+	}
+	// Sanity of magnitude: a 512x512 crosspoint array at 22 nm is well
+	// under a square millimeter.
+	if a := re.ArrayAreaUM2(); a > 1e6 {
+		t.Errorf("512x512 ReRAM array area %f um^2 implausibly large", a)
+	}
+}

@@ -1,0 +1,198 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if v.OnesCount() != 0 {
+		t.Fatalf("OnesCount = %d, want 0", v.OnesCount())
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	v := New(200)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range idx {
+		v.Set(i, true)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := v.OnesCount(); got != len(idx) {
+		t.Errorf("OnesCount = %d, want %d", got, len(idx))
+	}
+	v.Set(63, false)
+	if v.Get(63) {
+		t.Error("bit 63 still set after clearing")
+	}
+}
+
+func TestFromUint64RoundTrip(t *testing.T) {
+	cases := []struct {
+		x uint64
+		n int
+	}{
+		{0, 8}, {0xAB, 8}, {0xFFFF, 16}, {1 << 63, 64}, {0xDEADBEEF, 32},
+	}
+	for _, c := range cases {
+		v := FromUint64(c.x, c.n)
+		want := c.x & maskLow(c.n)
+		if got := v.Uint64(); got != want {
+			t.Errorf("FromUint64(%#x,%d).Uint64() = %#x, want %#x", c.x, c.n, got, want)
+		}
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	v := FromBools([]bool{true, false, true, true})
+	if v.Uint64() != 0b1101 {
+		t.Fatalf("FromBools = %#b, want 0b1101", v.Uint64())
+	}
+	if v.String() != "0b1101" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestBinaryOps(t *testing.T) {
+	a := FromUint64(0b1100, 4)
+	b := FromUint64(0b1010, 4)
+	cases := []struct {
+		name string
+		f    func(a, b *Vector) *Vector
+		want uint64
+	}{
+		{"And", And, 0b1000},
+		{"Or", Or, 0b1110},
+		{"Xor", Xor, 0b0110},
+		{"Nand", Nand, 0b0111},
+		{"Nor", Nor, 0b0001},
+		{"Xnor", Xnor, 0b1001},
+	}
+	for _, c := range cases {
+		if got := c.f(a, b).Uint64(); got != c.want {
+			t.Errorf("%s = %#b, want %#b", c.name, got, c.want)
+		}
+	}
+	if got := Not(a).Uint64(); got != 0b0011 {
+		t.Errorf("Not = %#b, want 0b0011", got)
+	}
+}
+
+func TestNotTrimsPadding(t *testing.T) {
+	a := New(5)
+	n := Not(a)
+	if got := n.OnesCount(); got != 5 {
+		t.Fatalf("Not(zero 5-bit).OnesCount = %d, want 5 (padding must stay clear)", got)
+	}
+}
+
+func TestFoldN(t *testing.T) {
+	a := FromUint64(0b111, 3)
+	b := FromUint64(0b101, 3)
+	c := FromUint64(0b100, 3)
+	if got := AndN(a, b, c).Uint64(); got != 0b100 {
+		t.Errorf("AndN = %#b, want 0b100", got)
+	}
+	if got := OrN(a, b, c).Uint64(); got != 0b111 {
+		t.Errorf("OrN = %#b, want 0b111", got)
+	}
+	if got := XorN(a, b, c).Uint64(); got != 0b110 {
+		t.Errorf("XorN = %#b, want 0b110", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And on mismatched lengths did not panic")
+		}
+	}()
+	And(New(3), New(4))
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get out of range did not panic")
+		}
+	}()
+	New(3).Get(3)
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := FromUint64(0x5A, 8)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Set(0, !b.Get(0))
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Equal(New(9)) {
+		t.Fatal("vectors of different length reported equal")
+	}
+}
+
+// Property: De Morgan — NOT(a AND b) == NOT(a) OR NOT(b).
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := FromUint64(x, 64), FromUint64(y, 64)
+		return Not(And(a, b)).Equal(Or(Not(a), Not(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR is its own inverse — (a XOR b) XOR b == a.
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := FromUint64(x, 64), FromUint64(y, 64)
+		return Xor(Xor(a, b), b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fold equivalences hold on random multi-word vectors.
+func TestQuickFoldMatchesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		vs := make([]*Vector, 2+rng.Intn(4))
+		for i := range vs {
+			vs[i] = New(n)
+			for j := 0; j < n; j++ {
+				vs[i].Set(j, rng.Intn(2) == 1)
+			}
+		}
+		and, or, xor := AndN(vs...), OrN(vs...), XorN(vs...)
+		for j := 0; j < n; j++ {
+			wa, wo, wx := true, false, false
+			for _, v := range vs {
+				wa = wa && v.Get(j)
+				wo = wo || v.Get(j)
+				wx = wx != v.Get(j)
+			}
+			if and.Get(j) != wa || or.Get(j) != wo || xor.Get(j) != wx {
+				t.Fatalf("trial %d bit %d: fold mismatch", trial, j)
+			}
+		}
+	}
+}

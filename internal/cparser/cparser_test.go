@@ -1,0 +1,254 @@
+package cparser
+
+import (
+	"strings"
+	"testing"
+
+	"sherlock/internal/dfg"
+)
+
+func mustCompile(t *testing.T, src string) *Compiled {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := c.Graph.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	return c
+}
+
+func TestSimpleKernel(t *testing.T) {
+	c := mustCompile(t, `
+		void k(word a, word b, word *out) {
+			word t = a & ~b;
+			*out = t ^ (a | b);
+		}`)
+	if c.KernelName != "k" {
+		t.Errorf("name = %q", c.KernelName)
+	}
+	if len(c.InputNames) != 2 || len(c.OutputNames) != 1 {
+		t.Errorf("signature: %v -> %v", c.InputNames, c.OutputNames)
+	}
+	for _, tc := range []struct{ a, b, want bool }{
+		{false, false, false},
+		{true, false, true}, // (1&~0)^(1|0) = 1^1 = 0... recompute below
+		{false, true, true},
+		{true, true, true},
+	} {
+		res, err := dfg.EvaluateByName(c.Graph, map[string]bool{"a": tc.a, "b": tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (tc.a && !tc.b) != (tc.a || tc.b)
+		if res["out"] != want {
+			t.Errorf("k(%v,%v) = %v, want %v", tc.a, tc.b, res["out"], want)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	// a ^ b & c must parse as a ^ (b & c).
+	c := mustCompile(t, `void k(word a, word b, word c, word *o) { *o = a ^ b & c; }`)
+	res, err := dfg.EvaluateByName(c.Graph, map[string]bool{"a": true, "b": true, "c": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["o"] != (true != (true && false)) {
+		t.Error("precedence wrong: a ^ b & c")
+	}
+	// a | b ^ c must parse as a | (b ^ c).
+	c2 := mustCompile(t, `void k(word a, word b, word c, word *o) { *o = a | b ^ c; }`)
+	res2, _ := dfg.EvaluateByName(c2.Graph, map[string]bool{"a": false, "b": true, "c": true})
+	if res2["o"] != (false || (true != true)) {
+		t.Error("precedence wrong: a | b ^ c")
+	}
+}
+
+func TestForLoopUnrolling(t *testing.T) {
+	// Parity over an array via an unrolled loop.
+	c := mustCompile(t, `
+		void parity(word x[4], word *out) {
+			word acc = x[0];
+			for (i = 1; i < 4; i = i + 1) {
+				acc = acc ^ x[i];
+			}
+			*out = acc;
+		}`)
+	if len(c.InputNames) != 4 {
+		t.Fatalf("inputs = %v", c.InputNames)
+	}
+	for v := 0; v < 16; v++ {
+		in := map[string]bool{}
+		parity := false
+		for i := 0; i < 4; i++ {
+			bit := v>>uint(i)&1 == 1
+			in[c.InputNames[i]] = bit
+			parity = parity != bit
+		}
+		res, err := dfg.EvaluateByName(c.Graph, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res["out"] != parity {
+			t.Fatalf("parity(%04b) = %v", v, res["out"])
+		}
+	}
+}
+
+func TestLoopVariants(t *testing.T) {
+	for _, inc := range []string{"i++", "i += 1", "i = i + 1"} {
+		src := `void k(word x[3], word *o) {
+			word t = 0;
+			for (i = 0; i <= 2; ` + inc + `) { t = t | x[i]; }
+			*o = t;
+		}`
+		c, err := Compile(src)
+		if err != nil {
+			t.Fatalf("increment %q: %v", inc, err)
+		}
+		res, err := dfg.EvaluateByName(c.Graph, map[string]bool{
+			"x[0]": false, "x[1]": true, "x[2]": false,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res["o"] {
+			t.Errorf("increment %q: OR-reduce wrong", inc)
+		}
+	}
+}
+
+func TestIndexArithmeticAndOutputArrays(t *testing.T) {
+	c := mustCompile(t, `
+		void shiftxor(word x[5], word *out[3]) {
+			for (i = 0; i < 3; i++) {
+				out[i] = x[i] ^ x[i+2];
+			}
+		}`)
+	if len(c.OutputNames) != 3 {
+		t.Fatalf("outputs = %v", c.OutputNames)
+	}
+	in := map[string]bool{"x[0]": true, "x[1]": false, "x[2]": true, "x[3]": true, "x[4]": false}
+	res, err := dfg.EvaluateByName(c.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true != true, false != true, true != false}
+	for i, w := range want {
+		if res[c.OutputNames[i]] != w {
+			t.Errorf("out[%d] = %v, want %v", i, res[c.OutputNames[i]], w)
+		}
+	}
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	c := mustCompile(t, `
+		void k(word a, word b, word *o) {
+			word t = a;
+			t &= b;
+			t ^= a;
+			t |= b;
+			*o = t;
+		}`)
+	res, err := dfg.EvaluateByName(c.Graph, map[string]bool{"a": true, "b": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := true && false
+	tv = tv != true
+	tv = tv || false
+	if res["o"] != tv {
+		t.Error("compound assignment chain wrong")
+	}
+}
+
+func TestBitweavingStyleKernel(t *testing.T) {
+	// The Fig. 3a shape: a BETWEEN predicate over bit-sliced columns.
+	c := mustCompile(t, `
+		// BETWEEN C1 AND C2, MSB-first column scan
+		void between(word x[4], word c1[4], word c2[4], word *hit) {
+			word lt = 0;
+			word eq1 = 1;
+			word gt = 0;
+			word eq2 = 1;
+			for (i = 0; i < 4; i++) {
+				word xi = x[3-i];
+				lt = lt | (eq1 & ~xi & c1[3-i]);
+				eq1 = eq1 & ~(xi ^ c1[3-i]);
+				gt = gt | (eq2 & xi & ~c2[3-i]);
+				eq2 = eq2 & ~(xi ^ c2[3-i]);
+			}
+			*hit = ~lt & ~gt;
+		}`)
+	_ = c
+}
+
+func TestCommentsAreSkipped(t *testing.T) {
+	mustCompile(t, `
+		/* block
+		   comment */
+		void k(word a, word *o) { // line comment
+			*o = ~a; /* inline */
+		}`)
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"no outputs":           `void k(word a) { word t = a; }`,
+		"undeclared var":       `void k(word a, word *o) { *o = zz; }`,
+		"use before assign":    `void k(word a, word *o) { word t; *o = t; }`,
+		"redeclaration":        `void k(word a, word *o) { word a = a; *o = a; }`,
+		"read output":          `void k(word a, word *o) { *o = a; word t = o; *o = t; }`,
+		"store to input":       `void k(word a, word *o) { *a = a; *o = a; }`,
+		"output never set":     `void k(word a, word *o, word *p) { *o = a; }`,
+		"array without index":  `void k(word x[3], word *o) { *o = x; }`,
+		"index out of range":   `void k(word x[3], word *o) { *o = x[5]; }`,
+		"stray loop var":       `void k(word x[3], word *o) { *o = x[i]; }`,
+		"bad literal":          `void k(word a, word *o) { *o = a & 2; }`,
+		"unterminated comment": `void k(word a, word *o) { /* ... `,
+		"non-unit step":        `void k(word x[4], word *o) { word t = 0; for (i = 0; i < 4; i += 2) { t = t ^ x[i]; } *o = t; }`,
+		"bad character":        `void k(word a, word *o) { *o = a @ a; }`,
+		"constant output":      `void k(word a, word *o) { *o = a ^ a; }`,
+		"trailing tokens":      `void k(word a, word *o) { *o = a; } extra`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+func TestLoopBoundSanity(t *testing.T) {
+	_, err := Compile(`void k(word a, word *o) {
+		word t = a;
+		for (i = 0; i < 100000; i++) { t = t & a; }
+		*o = t;
+	}`)
+	if err == nil || !strings.Contains(err.Error(), "unroll") {
+		t.Errorf("huge loop accepted: %v", err)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	c := mustCompile(t, `
+		void k(word x[6], word *o) {
+			word t = 0;
+			for (i = 0; i < 2; i++) {
+				for (j = 0; j < 3; j++) {
+					t = t ^ x[i+j];
+				}
+			}
+			*o = t;
+		}`)
+	// t = x0^x1^x2 ^ x1^x2^x3 = x0 ^ x3.
+	in := map[string]bool{"x[0]": true, "x[1]": true, "x[2]": false, "x[3]": false, "x[4]": false, "x[5]": false}
+	res, err := dfg.EvaluateByName(c.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["o"] != true {
+		t.Error("nested loop unrolling wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package cparser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sherlock/internal/dfg"
+)
+
+// randomExpr builds a random expression tree over the variables, returning
+// both its C source and a direct evaluator — a differential oracle for the
+// whole lexer/parser/lowering pipeline.
+type exprGen struct {
+	rng  *rand.Rand
+	vars []string
+}
+
+func (g *exprGen) gen(depth int) (string, func(env map[string]bool) bool) {
+	if depth == 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(6) {
+		case 0:
+			return "0", func(map[string]bool) bool { return false }
+		case 1:
+			return "1", func(map[string]bool) bool { return true }
+		default:
+			v := g.vars[g.rng.Intn(len(g.vars))]
+			return v, func(env map[string]bool) bool { return env[v] }
+		}
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		s, f := g.gen(depth - 1)
+		return "~" + wrap(s), func(env map[string]bool) bool { return !f(env) }
+	case 1:
+		l, fl := g.gen(depth - 1)
+		r, fr := g.gen(depth - 1)
+		return wrap(l) + " & " + wrap(r), func(env map[string]bool) bool { return fl(env) && fr(env) }
+	case 2:
+		l, fl := g.gen(depth - 1)
+		r, fr := g.gen(depth - 1)
+		return wrap(l) + " | " + wrap(r), func(env map[string]bool) bool { return fl(env) || fr(env) }
+	default:
+		l, fl := g.gen(depth - 1)
+		r, fr := g.gen(depth - 1)
+		return wrap(l) + " ^ " + wrap(r), func(env map[string]bool) bool { return fl(env) != fr(env) }
+	}
+}
+
+func wrap(s string) string {
+	if strings.ContainsAny(s, " ~") {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func TestFuzzRandomExpressionsMatchOracle(t *testing.T) {
+	vars := []string{"a", "b", "c", "d"}
+	for seed := int64(0); seed < 60; seed++ {
+		g := &exprGen{rng: rand.New(rand.NewSource(seed)), vars: vars}
+		exprSrc, oracle := g.gen(4)
+		src := fmt.Sprintf("void k(word a, word b, word c, word d, word *o) { *o = %s; }", exprSrc)
+		compiled, err := Compile(src)
+		if err != nil {
+			// Constant outputs are legitimately rejected; everything else
+			// must compile.
+			if strings.Contains(err.Error(), "constant") {
+				continue
+			}
+			t.Fatalf("seed %d: %q: %v", seed, exprSrc, err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			env := map[string]bool{}
+			for _, v := range vars {
+				env[v] = g.rng.Intn(2) == 1
+			}
+			res, err := dfg.EvaluateByName(compiled.Graph, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res["o"] != oracle(env) {
+				t.Fatalf("seed %d: %q diverges at %v: got %v", seed, exprSrc, env, res["o"])
+			}
+		}
+	}
+}
+
+func TestFuzzRandomLoopKernels(t *testing.T) {
+	// Random reduction loops over arrays must match a direct fold.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 500))
+		n := 2 + rng.Intn(6)
+		op := []string{"&", "|", "^"}[rng.Intn(3)]
+		src := fmt.Sprintf(`void k(word x[%d], word *o) {
+			word acc = x[0];
+			for (i = 1; i < %d; i++) { acc = acc %s x[i]; }
+			*o = acc;
+		}`, n, n, op)
+		compiled, err := Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			env := map[string]bool{}
+			bits := make([]bool, n)
+			for i := range bits {
+				bits[i] = rng.Intn(2) == 1
+				env[fmt.Sprintf("x[%d]", i)] = bits[i]
+			}
+			want := bits[0]
+			for _, b := range bits[1:] {
+				switch op {
+				case "&":
+					want = want && b
+				case "|":
+					want = want || b
+				default:
+					want = want != b
+				}
+			}
+			res, err := dfg.EvaluateByName(compiled.Graph, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res["o"] != want {
+				t.Fatalf("seed %d op %s: diverges", seed, op)
+			}
+		}
+	}
+}

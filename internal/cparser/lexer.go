@@ -1,0 +1,108 @@
+// Package cparser implements Sherlock's front-end: a small C-subset parser
+// that turns bulk-bitwise kernels into DFGs — the role pycparser plays in
+// the paper's flow (Sec. 3.1).
+//
+// Supported subset (enough to express kernels like Fig. 3a):
+//
+//	void kernel(word x, word c1, word *out) {
+//	    word t = x & ~c1;
+//	    for (i = 0; i < 4; i = i + 1) {
+//	        t = t ^ c1;
+//	    }
+//	    *out = t;
+//	}
+//
+// Types: a single bit-vector type "word" (one DFG operand per value).
+// Parameters: value parameters are kernel inputs, pointer parameters are
+// kernel outputs. Statements: declarations with initializers, assignments,
+// output stores, and constant-bound for loops (fully unrolled). Arrays of
+// words with constant or i±const indices are supported inside loops.
+// Expressions: & | ^ ~ and parentheses, plus the literals 0 and 1.
+package cparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single/compound punctuation, in text
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src    string
+	tokens []token
+}
+
+func lex(src string) (*lexer, error) {
+	l := &lexer{src: src}
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("cparser: line %d: unterminated comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			l.tokens = append(l.tokens, token{tokIdent, src[i:j], i, line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			l.tokens = append(l.tokens, token{tokNumber, src[i:j], i, line})
+			i = j
+		default:
+			// Compound operators first.
+			for _, op := range []string{"<=", ">=", "==", "!=", "++", "+=", "-=", "&=", "|=", "^="} {
+				if strings.HasPrefix(src[i:], op) {
+					l.tokens = append(l.tokens, token{tokPunct, op, i, line})
+					i += len(op)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', '{', '}', '[', ']', ';', ',', '=', '&', '|', '^', '~', '*', '<', '>', '+', '-':
+				l.tokens = append(l.tokens, token{tokPunct, string(c), i, line})
+				i++
+			default:
+				return nil, fmt.Errorf("cparser: line %d: unexpected character %q", line, c)
+			}
+		next:
+		}
+	}
+	l.tokens = append(l.tokens, token{tokEOF, "", len(src), line})
+	return l, nil
+}

@@ -1,0 +1,492 @@
+package cparser
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AST node types for the supported C subset.
+
+type expr interface{ exprNode() }
+
+// varRef is a scalar or indexed reference: name, or name[index].
+type varRef struct {
+	name  string
+	index *indexExpr // nil for scalars
+}
+
+// indexExpr is a loop-variable-affine index: a signed sum of loop
+// variables plus a constant offset (e.g. i+j-1, 3-i, 7).
+type indexExpr struct {
+	terms  []indexTerm
+	offset int
+}
+
+type indexTerm struct {
+	loopVar string
+	coeff   int // +1 or -1
+}
+
+type unaryExpr struct{ x expr } // operator ~
+
+type binExpr struct {
+	op   byte // '&', '|', '^'
+	l, r expr
+}
+
+type litExpr struct{ val bool } // 0 or 1
+
+func (*varRef) exprNode()    {}
+func (*unaryExpr) exprNode() {}
+func (*binExpr) exprNode()   {}
+func (*litExpr) exprNode()   {}
+
+type stmt interface{ stmtNode() }
+
+// declStmt declares (and optionally initializes) a local word.
+type declStmt struct {
+	name string
+	init expr // may be nil
+}
+
+// assignStmt writes a scalar, an array element, or an output (*name).
+type assignStmt struct {
+	target varRef
+	deref  bool // *name = ... (output store)
+	compOp byte // 0 for '=', else '&', '|', '^' for &=, |=, ^=
+	rhs    expr
+}
+
+// forStmt is a constant-trip-count loop, fully unrolled by the lowering.
+type forStmt struct {
+	loopVar   string
+	from, to  int
+	inclusive bool
+	body      []stmt
+}
+
+func (*declStmt) stmtNode()   {}
+func (*assignStmt) stmtNode() {}
+func (*forStmt) stmtNode()    {}
+
+// param is one kernel parameter.
+type param struct {
+	name     string
+	isOutput bool
+	size     int // 0 = scalar, else array length
+}
+
+// kernel is a parsed kernel function.
+type kernel struct {
+	name   string
+	params []param
+	body   []stmt
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("cparser: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	if p.cur().text != text {
+		return p.errorf("expected %q, got %q", text, p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errorf("expected identifier, got %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) expectNumber() (int, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errorf("expected number, got %q", p.cur().text)
+	}
+	v, err := strconv.Atoi(p.next().text)
+	if err != nil {
+		return 0, p.errorf("bad number: %v", err)
+	}
+	return v, nil
+}
+
+// parseKernel parses "void name(params) { body }".
+func parseKernel(src string) (*kernel, error) {
+	l, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: l.tokens}
+	if err := p.expect("void"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	k := &kernel{name: name}
+	for p.cur().text != ")" {
+		if len(k.params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pr, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		k.params = append(k.params, pr)
+	}
+	p.pos++ // ')'
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for p.cur().text != "}" {
+		if p.cur().kind == tokEOF {
+			return nil, p.errorf("unexpected end of input in body")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		k.body = append(k.body, s)
+	}
+	p.pos++ // '}'
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("trailing tokens after kernel body")
+	}
+	return k, nil
+}
+
+// parseParam parses "word name", "word name[N]", "word *name", or
+// "word *name[N]".
+func (p *parser) parseParam() (param, error) {
+	if err := p.expect("word"); err != nil {
+		return param{}, err
+	}
+	var pr param
+	if p.cur().text == "*" {
+		pr.isOutput = true
+		p.pos++
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return param{}, err
+	}
+	pr.name = name
+	if p.cur().text == "[" {
+		p.pos++
+		n, err := p.expectNumber()
+		if err != nil {
+			return param{}, err
+		}
+		if n < 1 {
+			return param{}, p.errorf("array size %d must be positive", n)
+		}
+		pr.size = n
+		if err := p.expect("]"); err != nil {
+			return param{}, err
+		}
+	}
+	return pr, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	switch {
+	case p.cur().text == "word":
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &declStmt{name: name}
+		if p.cur().text == "=" {
+			p.pos++
+			d.init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d, p.expect(";")
+	case p.cur().text == "for":
+		return p.parseFor()
+	case p.cur().text == "*":
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		a := &assignStmt{target: varRef{name: name}, deref: true}
+		if p.cur().text == "[" {
+			idx, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			a.target.index = idx
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if a.rhs, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		return a, p.expect(";")
+	default:
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		a := &assignStmt{target: varRef{name: name}}
+		if p.cur().text == "[" {
+			idx, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			a.target.index = idx
+		}
+		switch p.cur().text {
+		case "=":
+			p.pos++
+		case "&=", "|=", "^=":
+			a.compOp = p.next().text[0]
+		default:
+			return nil, p.errorf("expected assignment, got %q", p.cur().text)
+		}
+		if a.rhs, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		return a, p.expect(";")
+	}
+}
+
+// parseFor parses "for (i = A; i < B; i = i + 1) { body }" with the
+// standard increment spellings (i++, i += 1, i = i + 1) and < or <= bounds.
+func (p *parser) parseFor() (stmt, error) {
+	p.pos++ // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	loopVar, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	from, err := p.expectNumber()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if v, err2 := p.expectIdent(); err2 != nil || v != loopVar {
+		return nil, p.errorf("loop condition must test %q", loopVar)
+	}
+	inclusive := false
+	switch p.cur().text {
+	case "<":
+	case "<=":
+		inclusive = true
+	default:
+		return nil, p.errorf("loop condition must use < or <=")
+	}
+	p.pos++
+	to, err := p.expectNumber()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	// Increment: i++, i += 1, or i = i + 1.
+	if v, err2 := p.expectIdent(); err2 != nil || v != loopVar {
+		return nil, p.errorf("loop increment must update %q", loopVar)
+	}
+	switch p.cur().text {
+	case "++":
+		p.pos++
+	case "+=":
+		p.pos++
+		if n, err2 := p.expectNumber(); err2 != nil || n != 1 {
+			return nil, p.errorf("only unit loop increments are supported")
+		}
+	case "=":
+		p.pos++
+		if v, err2 := p.expectIdent(); err2 != nil || v != loopVar {
+			return nil, p.errorf("loop increment must be %s = %s + 1", loopVar, loopVar)
+		}
+		if err := p.expect("+"); err != nil {
+			return nil, err
+		}
+		if n, err2 := p.expectNumber(); err2 != nil || n != 1 {
+			return nil, p.errorf("only unit loop increments are supported")
+		}
+	default:
+		return nil, p.errorf("unsupported loop increment %q", p.cur().text)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	f := &forStmt{loopVar: loopVar, from: from, to: to, inclusive: inclusive}
+	for p.cur().text != "}" {
+		if p.cur().kind == tokEOF {
+			return nil, p.errorf("unexpected end of input in loop body")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.body = append(f.body, s)
+	}
+	p.pos++ // '}'
+	return f, nil
+}
+
+// parseIndex parses "[i]", "[i+2]", "[i-1]", or "[3]". The leading '[' is
+// current.
+func (p *parser) parseIndex() (*indexExpr, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	idx := &indexExpr{}
+	sign := 1
+	for {
+		switch p.cur().kind {
+		case tokNumber:
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			idx.offset += sign * n
+		case tokIdent:
+			idx.terms = append(idx.terms, indexTerm{loopVar: p.next().text, coeff: sign})
+		default:
+			return nil, p.errorf("bad array index %q", p.cur().text)
+		}
+		switch p.cur().text {
+		case "+":
+			sign = 1
+		case "-":
+			sign = -1
+		default:
+			return idx, p.expect("]")
+		}
+		p.pos++
+	}
+}
+
+// Expression precedence (C): | lowest, then ^, then &, then unary ~.
+
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "|" {
+		p.pos++
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: '|', l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseXor() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "^" {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: '^', l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "&" {
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: '&', l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.cur().text == "~" {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	switch {
+	case p.cur().text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case p.cur().kind == tokNumber:
+		n, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if n != 0 && n != 1 {
+			return nil, p.errorf("only the literals 0 and 1 are valid word expressions")
+		}
+		return &litExpr{val: n == 1}, nil
+	case p.cur().kind == tokIdent:
+		name := p.next().text
+		v := &varRef{name: name}
+		if p.cur().text == "[" {
+			idx, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			v.index = idx
+		}
+		return v, nil
+	default:
+		return nil, p.errorf("unexpected token %q in expression", p.cur().text)
+	}
+}

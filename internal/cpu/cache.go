@@ -1,0 +1,87 @@
+// Package cpu models the baseline system of the paper's Fig. 7 comparison:
+// an in-order X86-class core at 1 GHz with the Table 1 cache hierarchy
+// (L1I/L1D/L2 of 16/64/256 KiB at 2/2/20 cycles), backed by DRAM. It
+// replaces the gem5 CPU simulation with a trace-driven model: workload
+// kernels generate their memory access streams, a set-associative LRU
+// cache hierarchy classifies them, and cycle/energy costs accumulate.
+package cpu
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes     int
+	LineBytes     int
+	Ways          int
+	LatencyCycles int
+}
+
+// Validate rejects impossible geometries.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 || c.LatencyCycles < 0 {
+		return fmt.Errorf("cpu: invalid cache config %+v", c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cpu: size %d not divisible by line*ways", c.SizeBytes)
+	}
+	return nil
+}
+
+// Cache is a set-associative LRU cache over 64-bit byte addresses.
+type Cache struct {
+	cfg    CacheConfig
+	sets   int
+	tags   [][]uint64 // [set][way], most recently used first
+	valid  [][]bool
+	hits   int64
+	misses int64
+}
+
+// NewCache builds an empty cache; it panics on invalid configs (these are
+// programmer errors in experiment setup).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{cfg: cfg, sets: sets}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+	}
+	return c
+}
+
+// Access looks up the address, updating LRU state and filling on miss.
+// It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr / uint64(c.cfg.LineBytes)
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	ways := c.tags[set]
+	vals := c.valid[set]
+	for w := 0; w < c.cfg.Ways; w++ {
+		if vals[w] && ways[w] == tag {
+			// Move to MRU position.
+			copy(ways[1:w+1], ways[:w])
+			copy(vals[1:w+1], vals[:w])
+			ways[0], vals[0] = tag, true
+			c.hits++
+			return true
+		}
+	}
+	// Miss: evict LRU (last way).
+	copy(ways[1:], ways[:c.cfg.Ways-1])
+	copy(vals[1:], vals[:c.cfg.Ways-1])
+	ways[0], vals[0] = tag, true
+	c.misses++
+	return false
+}
+
+// Hits and Misses report access counts.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses reports the number of missed accesses.
+func (c *Cache) Misses() int64 { return c.misses }

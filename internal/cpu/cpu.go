@@ -1,0 +1,148 @@
+package cpu
+
+import "fmt"
+
+// Hierarchy is the Table 1 system configuration.
+type Hierarchy struct {
+	L1I, L1D, L2 CacheConfig
+	ClockGHz     float64
+	DRAMNS       float64 // miss-to-DRAM latency
+}
+
+// DefaultHierarchy returns the paper's setup: in-order core at 1 GHz,
+// L1I/L1D/L2 = 16/64/256 KiB at 2/2/20 cycles.
+func DefaultHierarchy() Hierarchy {
+	return Hierarchy{
+		L1I:      CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, LatencyCycles: 2},
+		L1D:      CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 2},
+		L2:       CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 20},
+		ClockGHz: 1.0,
+		DRAMNS:   100,
+	}
+}
+
+// Per-event energy constants (pJ), representative of a small in-order core
+// in a recent process node.
+const (
+	aluPJ       = 1.2   // one ALU operation including register file
+	fetchPJ     = 1.0   // amortized fetch/decode per instruction (L1I hit)
+	l1PJ        = 6.0   // L1 data access
+	l2PJ        = 22.0  // L2 access
+	dramPJ      = 2600  // DRAM line fetch (64 B)
+	staticPJCyc = 120.0 // core + caches: clock tree, leakage, pipeline (~0.12 W at 1 GHz)
+)
+
+// Model is a trace-driven in-order CPU cost model. Feed it the kernel's
+// dynamic event stream (loads, stores, ALU ops); it accumulates cycles and
+// energy through the cache hierarchy.
+type Model struct {
+	h        Hierarchy
+	l1i, l1d *Cache
+	l2       *Cache
+
+	cycles float64
+	energy float64
+
+	loads, stores, alu int64
+	pc                 uint64
+}
+
+// NewModel builds a fresh model over the hierarchy.
+func NewModel(h Hierarchy) *Model {
+	if h.ClockGHz <= 0 || h.DRAMNS <= 0 {
+		panic(fmt.Sprintf("cpu: invalid hierarchy timing %+v", h))
+	}
+	return &Model{
+		h:   h,
+		l1i: NewCache(h.L1I),
+		l1d: NewCache(h.L1D),
+		l2:  NewCache(h.L2),
+	}
+}
+
+// fetch models instruction delivery: a sequential PC stream through L1I.
+// Hot loops hit; each executed instruction advances the PC by 4 bytes and
+// wraps within the kernel's code footprint.
+func (m *Model) fetch() {
+	const codeBytes = 4 << 10    // bulk-bitwise kernels are small
+	addr := uint64(1)<<40 | m.pc // code segment distinct from data
+	m.pc = (m.pc + 4) % codeBytes
+	if !m.l1i.Access(addr) {
+		m.missPath(addr)
+	}
+	m.energy += fetchPJ
+}
+
+// missPath charges an L1 miss through L2 and possibly DRAM.
+func (m *Model) missPath(addr uint64) {
+	m.cycles += float64(m.h.L2.LatencyCycles)
+	m.energy += l2PJ
+	if !m.l2.Access(addr) {
+		m.cycles += m.h.DRAMNS * m.h.ClockGHz
+		m.energy += dramPJ
+	}
+}
+
+// Load models one data load of any width up to a cache line.
+func (m *Model) Load(addr uint64) {
+	m.loads++
+	m.fetch()
+	m.cycles += float64(m.h.L1D.LatencyCycles)
+	m.energy += l1PJ
+	if !m.l1d.Access(addr) {
+		m.missPath(addr)
+	}
+}
+
+// Store models one data store.
+func (m *Model) Store(addr uint64) {
+	m.stores++
+	m.fetch()
+	m.cycles += float64(m.h.L1D.LatencyCycles)
+	m.energy += l1PJ
+	if !m.l1d.Access(addr) {
+		m.missPath(addr)
+	}
+}
+
+// ALU models n register-to-register operations (1 cycle each, in order).
+func (m *Model) ALU(n int) {
+	for i := 0; i < n; i++ {
+		m.fetch()
+	}
+	m.alu += int64(n)
+	m.cycles += float64(n)
+	m.energy += aluPJ * float64(n)
+}
+
+// Cost is the accumulated execution cost.
+type Cost struct {
+	Cycles    float64
+	LatencyNS float64
+	EnergyPJ  float64
+	Loads     int64
+	Stores    int64
+	ALUOps    int64
+	L1DHits   int64
+	L1DMisses int64
+	L2Misses  int64
+}
+
+// EDP returns the energy-delay product in pJ·ns.
+func (c Cost) EDP() float64 { return c.EnergyPJ * c.LatencyNS }
+
+// Finish adds static energy and returns the totals.
+func (m *Model) Finish() Cost {
+	energy := m.energy + staticPJCyc*m.cycles
+	return Cost{
+		Cycles:    m.cycles,
+		LatencyNS: m.cycles / m.h.ClockGHz,
+		EnergyPJ:  energy,
+		Loads:     m.loads,
+		Stores:    m.stores,
+		ALUOps:    m.alu,
+		L1DHits:   m.l1d.Hits(),
+		L1DMisses: m.l1d.Misses(),
+		L2Misses:  m.l2.Misses(),
+	}
+}

@@ -1,0 +1,246 @@
+// Package device models the NVM cell technologies and the decision-failure
+// statistics of scouting-logic sensing (Sec. 2.2, Fig. 2 of the paper).
+//
+// It replaces the paper's SPICE-simulation stage: instead of transistor-level
+// simulation of each cell, resistive states are modeled as lognormal
+// distributions (the standard process-variation model for memristive
+// devices), and the bit-line of a k-row scouting read is the sum of k cell
+// conductances. The probability of decision failure P_DF for an operation is
+// the Bayes error of separating the two *nearest* composite-conductance
+// states with the sense amplifier's reference — the overlap region of
+// Fig. 2(b).
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"sherlock/internal/logic"
+	"sherlock/internal/stats"
+)
+
+// Technology enumerates the supported NVM cell technologies.
+type Technology int
+
+// Supported technologies. STTMRAM and ReRAM are the paper's evaluation
+// targets; PCM is included for the wider-gap design point mentioned in the
+// introduction.
+const (
+	STTMRAM Technology = iota
+	ReRAM
+	PCM
+)
+
+// Technologies lists all supported technologies in display order.
+func Technologies() []Technology { return []Technology{ReRAM, STTMRAM, PCM} }
+
+func (t Technology) String() string {
+	switch t {
+	case STTMRAM:
+		return "STT-MRAM"
+	case ReRAM:
+		return "ReRAM"
+	case PCM:
+		return "PCM"
+	}
+	return fmt.Sprintf("Technology(%d)", int(t))
+}
+
+// ParseTechnology resolves a technology by (case-sensitive) display name.
+func ParseTechnology(s string) (Technology, error) {
+	for _, t := range Technologies() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("device: unknown technology %q", s)
+}
+
+// Params characterizes one technology's cells and sensing path.
+// Resistances are in ohms; the paper's bit convention is kept throughout:
+// HRS stores '1', LRS stores '0'.
+type Params struct {
+	Tech Technology
+
+	RLRS float64 // low-resistance ('0') state mean resistance
+	RHRS float64 // high-resistance ('1') state mean resistance
+
+	// Relative (sigma/mean) process variation of each state's resistance.
+	RelSDLRS float64
+	RelSDHRS float64
+
+	// CmpNoiseFrac models sense-amplifier comparator offset and reference
+	// imperfection as additional conductance noise, expressed as a
+	// fraction of the LRS conductance.
+	CmpNoiseFrac float64
+
+	// MaxRows is the largest simultaneous multi-row activation the
+	// technology's sensing path supports.
+	MaxRows int
+
+	// ReadVoltage is the bit-line read voltage (volts), used by the energy
+	// model.
+	ReadVoltage float64
+}
+
+// STT-MRAM cell geometry from Table 1 of the paper: an MgO-barrier MTJ with
+// 20 nm radius, resistance-area product 7.5 Ω·µm², and 150 % nominal TMR.
+const (
+	sttRadiusUM = 0.020 // 20 nm in µm
+	sttRAProd   = 7.5   // Ω·µm²
+	sttTMR      = 1.50
+)
+
+// ParamsFor returns the calibrated parameters of a technology.
+func ParamsFor(t Technology) Params {
+	switch t {
+	case STTMRAM:
+		area := math.Pi * sttRadiusUM * sttRadiusUM // µm²
+		rp := sttRAProd / area                      // parallel = LRS
+		return Params{
+			Tech:         STTMRAM,
+			RLRS:         rp,
+			RHRS:         rp * (1 + sttTMR),
+			RelSDLRS:     0.08,
+			RelSDHRS:     0.12,
+			CmpNoiseFrac: 0.01,
+			MaxRows:      4,
+			ReadVoltage:  0.1,
+		}
+	case ReRAM:
+		// JART VCM v1b-style filamentary cell (Table 1): the oxygen-vacancy
+		// concentration ratio between LRS and HRS (3 vs 0.009 · 10^26 m^-3)
+		// yields a two-orders-of-magnitude resistance window; HRS is the
+		// unstable state (Wiefels et al.), hence its larger spread.
+		return Params{
+			Tech:         ReRAM,
+			RLRS:         10e3,
+			RHRS:         1.0e6,
+			RelSDLRS:     0.06,
+			RelSDHRS:     0.40,
+			CmpNoiseFrac: 0.01,
+			MaxRows:      8,
+			ReadVoltage:  0.2,
+		}
+	case PCM:
+		return Params{
+			Tech:         PCM,
+			RLRS:         20e3,
+			RHRS:         20e6,
+			RelSDLRS:     0.10,
+			RelSDHRS:     0.50,
+			CmpNoiseFrac: 0.01,
+			MaxRows:      8,
+			ReadVoltage:  0.2,
+		}
+	}
+	panic(fmt.Sprintf("device: unknown technology %v", t))
+}
+
+// GLRS returns the mean LRS conductance (siemens).
+func (p Params) GLRS() float64 { return 1 / p.RLRS }
+
+// GHRS returns the mean HRS conductance (siemens).
+func (p Params) GHRS() float64 { return 1 / p.RHRS }
+
+// conductance spreads; to first order relSD(G) = relSD(R) for small spreads,
+// which is accurate to within the model's fidelity.
+func (p Params) sigmaGLRS() float64 { return p.GLRS() * p.RelSDLRS }
+func (p Params) sigmaGHRS() float64 { return p.GHRS() * p.RelSDHRS }
+
+// Composite returns the distribution of the total bit-line conductance when
+// ones cells in HRS ('1') and zeros cells in LRS ('0') are activated
+// together, including comparator noise.
+func (p Params) Composite(ones, zeros int) stats.Normal {
+	if ones < 0 || zeros < 0 {
+		panic(fmt.Sprintf("device: negative cell count (%d,%d)", ones, zeros))
+	}
+	h := stats.SumOfIID(p.GHRS(), p.sigmaGHRS(), ones)
+	l := stats.SumOfIID(p.GLRS(), p.sigmaGLRS(), zeros)
+	d := stats.AddIndependent(h, l)
+	cmp := stats.Normal{Mu: 0, Sigma: p.CmpNoiseFrac * p.GLRS()}
+	return stats.AddIndependent(d, cmp)
+}
+
+// boundary returns the misclassification probability of separating the
+// composite states with a and b HRS cells out of k activated rows.
+func (p Params) boundary(k, a, b int) float64 {
+	pa := p.Composite(a, k-a)
+	pb := p.Composite(b, k-b)
+	pf, _ := stats.OverlapProbability(pa, pb)
+	return pf
+}
+
+// DecisionFailure returns P_DF for a scouting read realizing op over k
+// simultaneously activated rows. Non-sense operations (NOT, COPY) are CMOS
+// row-buffer operations and never fail in this model.
+//
+// The relevant boundaries follow from the paper's bit convention
+// (HRS = '1'):
+//
+//   - AND/NAND distinguish "all k ones" from "k-1 ones": the state with one
+//     LRS cell has a much higher bit-line conductance, a wide margin.
+//   - OR/NOR distinguish "all k zeros" from "one one": both states are
+//     dominated by LRS conductances whose variances accumulate with k, so
+//     the margin degrades quickly with row count.
+//   - XOR/XNOR need window sensing: the parity decision must separate every
+//     adjacent pair of composite levels, so P_DF is the probability that
+//     any of the k boundaries misfires.
+func (p Params) DecisionFailure(op logic.Op, k int) float64 {
+	if !op.IsSense() {
+		return 0
+	}
+	if k < 2 {
+		panic(fmt.Sprintf("device: sense op %v with %d rows", op, k))
+	}
+	if k > p.MaxRows {
+		panic(fmt.Sprintf("device: %d rows exceeds %v limit %d", k, p.Tech, p.MaxRows))
+	}
+	switch op {
+	case logic.And, logic.Nand:
+		return p.boundary(k, k, k-1)
+	case logic.Or, logic.Nor:
+		return p.boundary(k, 0, 1)
+	case logic.Xor, logic.Xnor:
+		ps := make([]float64, 0, k)
+		for ones := 0; ones < k; ones++ {
+			ps = append(ps, p.boundary(k, ones, ones+1))
+		}
+		return stats.ProbAtLeastOne(ps)
+	}
+	panic(fmt.Sprintf("device: unreachable op %v", op))
+}
+
+// SenseMargin returns the separation (in combined standard deviations) of
+// the two nearest composite states for op at k rows — the z-score view of
+// Fig. 2(b). Larger is more reliable.
+func (p Params) SenseMargin(op logic.Op, k int) float64 {
+	var a, b int
+	switch op {
+	case logic.And, logic.Nand:
+		a, b = k, k-1
+	case logic.Or, logic.Nor:
+		a, b = 0, 1
+	case logic.Xor, logic.Xnor:
+		// Worst adjacent pair.
+		worst := math.Inf(1)
+		for ones := 0; ones < k; ones++ {
+			da := p.Composite(ones, k-ones)
+			db := p.Composite(ones+1, k-ones-1)
+			z := math.Abs(da.Mu-db.Mu) / (da.Sigma + db.Sigma)
+			if z < worst {
+				worst = z
+			}
+		}
+		return worst
+	default:
+		panic(fmt.Sprintf("device: SenseMargin of non-sense op %v", op))
+	}
+	da := p.Composite(a, k-a)
+	db := p.Composite(b, k-b)
+	return math.Abs(da.Mu-db.Mu) / (da.Sigma + db.Sigma)
+}
+
+// ResistanceWindow returns RHRS/RLRS, the technology's nominal resistance
+// ratio (the "gap" driving reliability in Sec. 2.2).
+func (p Params) ResistanceWindow() float64 { return p.RHRS / p.RLRS }

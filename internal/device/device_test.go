@@ -1,0 +1,176 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"sherlock/internal/logic"
+)
+
+func TestParamsForDerivedResistances(t *testing.T) {
+	p := ParamsFor(STTMRAM)
+	// RA = 7.5 Ω·µm² over a 20 nm-radius MTJ: R_P ≈ 5968 Ω, TMR 150 %.
+	if math.Abs(p.RLRS-5968) > 10 {
+		t.Errorf("STT-MRAM RLRS = %.0f, want ~5968", p.RLRS)
+	}
+	if math.Abs(p.RHRS/p.RLRS-2.5) > 1e-9 {
+		t.Errorf("STT-MRAM window = %.3f, want 2.5", p.RHRS/p.RLRS)
+	}
+	r := ParamsFor(ReRAM)
+	if r.ResistanceWindow() < 50 {
+		t.Errorf("ReRAM window = %.1f, want a wide (>50x) gap", r.ResistanceWindow())
+	}
+	c := ParamsFor(PCM)
+	if c.ResistanceWindow() <= r.ResistanceWindow() {
+		t.Errorf("PCM window %.0f should exceed ReRAM %.0f", c.ResistanceWindow(), r.ResistanceWindow())
+	}
+}
+
+func TestTechnologyStringParse(t *testing.T) {
+	for _, tech := range Technologies() {
+		got, err := ParseTechnology(tech.String())
+		if err != nil || got != tech {
+			t.Errorf("round trip %v failed: %v %v", tech, got, err)
+		}
+	}
+	if _, err := ParseTechnology("FRAM"); err == nil {
+		t.Error("unknown technology accepted")
+	}
+}
+
+func TestCompositeMoments(t *testing.T) {
+	p := ParamsFor(STTMRAM)
+	d := p.Composite(2, 0)
+	if math.Abs(d.Mu-2*p.GHRS()) > 1e-12 {
+		t.Errorf("2xHRS mean = %g, want %g", d.Mu, 2*p.GHRS())
+	}
+	d2 := p.Composite(1, 1)
+	if d2.Mu <= d.Mu {
+		t.Error("adding an LRS cell must raise total conductance")
+	}
+	// Variance grows with cell count.
+	if p.Composite(4, 0).Sigma <= p.Composite(2, 0).Sigma {
+		t.Error("sigma must grow with activated rows")
+	}
+}
+
+func TestDecisionFailureNonSenseOpsAreFree(t *testing.T) {
+	p := ParamsFor(STTMRAM)
+	if got := p.DecisionFailure(logic.Not, 1); got != 0 {
+		t.Errorf("NOT P_DF = %g, want 0", got)
+	}
+	if got := p.DecisionFailure(logic.Copy, 1); got != 0 {
+		t.Errorf("COPY P_DF = %g, want 0", got)
+	}
+}
+
+func TestDecisionFailureGrowsWithRows(t *testing.T) {
+	// The paper's key claim (Fig. 2b): more activated rows -> higher P_DF.
+	for _, tech := range Technologies() {
+		p := ParamsFor(tech)
+		for _, op := range []logic.Op{logic.And, logic.Or, logic.Xor} {
+			prev := 0.0
+			for k := 2; k <= p.MaxRows; k++ {
+				pdf := p.DecisionFailure(op, k)
+				if pdf <= 0 || pdf >= 1 {
+					t.Fatalf("%v %v k=%d: P_DF = %g out of (0,1)", tech, op, k, pdf)
+				}
+				if pdf < prev {
+					t.Errorf("%v %v: P_DF(k=%d)=%.3g < P_DF(k=%d)=%.3g", tech, op, k, pdf, k-1, prev)
+				}
+				prev = pdf
+			}
+		}
+	}
+}
+
+func TestReRAMMoreReliableThanSTTMRAM(t *testing.T) {
+	// Wider LRS/HRS gap -> lower P_DF (Sec. 2.2).
+	re, stt := ParamsFor(ReRAM), ParamsFor(STTMRAM)
+	for _, op := range []logic.Op{logic.And, logic.Or, logic.Xor} {
+		for k := 2; k <= 4; k++ {
+			pr, ps := re.DecisionFailure(op, k), stt.DecisionFailure(op, k)
+			if pr >= ps {
+				t.Errorf("%v k=%d: ReRAM P_DF %.3g >= STT-MRAM %.3g", op, k, pr, ps)
+			}
+		}
+	}
+}
+
+func TestSTTMRAMOrXorMuchWorseThanAnd(t *testing.T) {
+	// This asymmetry motivates the NAND-based lowering of Fig. 6b.
+	p := ParamsFor(STTMRAM)
+	and := p.DecisionFailure(logic.And, 2)
+	or := p.DecisionFailure(logic.Or, 2)
+	xor := p.DecisionFailure(logic.Xor, 2)
+	if or < 5*and {
+		t.Errorf("STT-MRAM OR P_DF %.3g not clearly worse than AND %.3g", or, and)
+	}
+	if xor < or {
+		t.Errorf("STT-MRAM XOR P_DF %.3g should be at least OR's %.3g", xor, or)
+	}
+}
+
+func TestInverseOpsShareFailureRates(t *testing.T) {
+	p := ParamsFor(ReRAM)
+	for k := 2; k <= 4; k++ {
+		if p.DecisionFailure(logic.And, k) != p.DecisionFailure(logic.Nand, k) {
+			t.Errorf("AND vs NAND P_DF differ at k=%d", k)
+		}
+		if p.DecisionFailure(logic.Or, k) != p.DecisionFailure(logic.Nor, k) {
+			t.Errorf("OR vs NOR P_DF differ at k=%d", k)
+		}
+		if p.DecisionFailure(logic.Xor, k) != p.DecisionFailure(logic.Xnor, k) {
+			t.Errorf("XOR vs XNOR P_DF differ at k=%d", k)
+		}
+	}
+}
+
+func TestDecisionFailureMagnitudes(t *testing.T) {
+	// Calibration targets from Sec. 4.2: ReRAM applications stay below
+	// P_app 1e-4 (so per-op well under 1e-6 for AND-class), while
+	// STT-MRAM lands around P_app 1e-2 for NAND-lowered kernels with
+	// tens of ops (per-op around 1e-5..1e-3).
+	re := ParamsFor(ReRAM).DecisionFailure(logic.And, 2)
+	if re > 1e-7 {
+		t.Errorf("ReRAM AND2 P_DF = %.3g, want < 1e-7", re)
+	}
+	stt := ParamsFor(STTMRAM).DecisionFailure(logic.Nand, 2)
+	if stt < 1e-6 || stt > 1e-2 {
+		t.Errorf("STT-MRAM NAND2 P_DF = %.3g, want within [1e-6, 1e-2]", stt)
+	}
+}
+
+func TestSenseMarginConsistency(t *testing.T) {
+	p := ParamsFor(STTMRAM)
+	for _, op := range []logic.Op{logic.And, logic.Or, logic.Xor} {
+		m2, m4 := p.SenseMargin(op, 2), p.SenseMargin(op, 4)
+		if m2 <= 0 || m4 <= 0 {
+			t.Fatalf("%v margins not positive: %g %g", op, m2, m4)
+		}
+		if m4 >= m2 {
+			t.Errorf("%v margin should shrink with rows: k2=%.2f k4=%.2f", op, m2, m4)
+		}
+	}
+	if p.SenseMargin(logic.Or, 2) >= p.SenseMargin(logic.And, 2) {
+		t.Error("OR margin should be narrower than AND margin on STT-MRAM")
+	}
+}
+
+func TestDecisionFailurePanics(t *testing.T) {
+	p := ParamsFor(STTMRAM)
+	for _, f := range []func(){
+		func() { p.DecisionFailure(logic.And, 1) },
+		func() { p.DecisionFailure(logic.And, p.MaxRows+1) },
+		func() { p.Composite(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

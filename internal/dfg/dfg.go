@@ -1,0 +1,487 @@
+// Package dfg implements the data-flow graph at the heart of Sherlock.
+//
+// The DFG is a bipartite DAG (paper Fig. 3b): operand nodes carry values
+// (kernel inputs, intermediates, outputs) and op nodes carry logic
+// operations. Op nodes have unit weight, operand nodes zero weight; the
+// b-level of an op node (its longest path to a sink, Kwok & Ahmad) is the
+// scheduling priority used by both mapping algorithms.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+
+	"sherlock/internal/logic"
+)
+
+// NodeID identifies a node within one Graph.
+type NodeID int
+
+// NoNode is the null NodeID.
+const NoNode NodeID = -1
+
+// Kind distinguishes the two node classes of the bipartite DAG.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindOperand Kind = iota + 1
+	KindOp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOperand:
+		return "operand"
+	case KindOp:
+		return "op"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+type node struct {
+	kind Kind
+	op   logic.Op // KindOp only
+	name string   // operand name, or a synthesized op label
+}
+
+// Graph is a bulk-bitwise data-flow graph. Construct with New and the Add*
+// methods; graphs are acyclic by construction (ops may only consume operands
+// that already exist).
+type Graph struct {
+	nodes []node
+
+	// Op node relations.
+	opInputs map[NodeID][]NodeID // op -> ordered input operands
+	opOutput map[NodeID]NodeID   // op -> result operand
+
+	// Operand relations.
+	producer  map[NodeID]NodeID   // operand -> op producing it (absent if input)
+	consumers map[NodeID][]NodeID // operand -> ops consuming it
+
+	inputs  []NodeID // operands with no producer, in creation order
+	outputs []NodeID // operands marked as kernel outputs, in mark order
+
+	byName      map[string]NodeID // operand name -> id
+	outputAlias map[NodeID]string // output operand -> user-facing name
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		opInputs:    make(map[NodeID][]NodeID),
+		opOutput:    make(map[NodeID]NodeID),
+		producer:    make(map[NodeID]NodeID),
+		consumers:   make(map[NodeID][]NodeID),
+		byName:      make(map[string]NodeID),
+		outputAlias: make(map[NodeID]string),
+	}
+}
+
+func (g *Graph) addNode(n node) NodeID {
+	g.nodes = append(g.nodes, n)
+	return NodeID(len(g.nodes) - 1)
+}
+
+// AddInput creates a kernel-input operand with the given unique name.
+func (g *Graph) AddInput(name string) NodeID {
+	id := g.addOperand(name)
+	g.inputs = append(g.inputs, id)
+	return id
+}
+
+func (g *Graph) addOperand(name string) NodeID {
+	if name == "" {
+		name = fmt.Sprintf("t%d", len(g.nodes))
+	}
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("dfg: duplicate operand name %q", name))
+	}
+	id := g.addNode(node{kind: KindOperand, name: name})
+	g.byName[name] = id
+	return id
+}
+
+// AddOp creates an op node applying op to the given input operands and a
+// fresh operand node holding its result; it returns the result operand's ID.
+// Unary ops take exactly one input, sense ops at least two. The inputs must
+// be operand IDs of this graph.
+func (g *Graph) AddOp(op logic.Op, ins ...NodeID) NodeID {
+	return g.AddOpNamed(op, "", ins...)
+}
+
+// AddOpNamed is AddOp with an explicit name for the result operand
+// (synthesized when empty).
+func (g *Graph) AddOpNamed(op logic.Op, resultName string, ins ...NodeID) NodeID {
+	if !op.Valid() {
+		panic(fmt.Sprintf("dfg: invalid op %v", op))
+	}
+	if op.IsUnary() {
+		if len(ins) != 1 {
+			panic(fmt.Sprintf("dfg: %v takes 1 operand, got %d", op, len(ins)))
+		}
+	} else if len(ins) < 2 {
+		panic(fmt.Sprintf("dfg: %v takes >=2 operands, got %d", op, len(ins)))
+	}
+	for _, in := range ins {
+		if !g.isOperand(in) {
+			panic(fmt.Sprintf("dfg: op input %d is not an operand of this graph", in))
+		}
+	}
+	opID := g.addNode(node{kind: KindOp, op: op, name: fmt.Sprintf("%s_%d", op, len(g.nodes))})
+	g.opInputs[opID] = append([]NodeID(nil), ins...)
+	out := g.addOperand(resultName)
+	g.opOutput[opID] = out
+	g.producer[out] = opID
+	for _, in := range ins {
+		g.consumers[in] = append(g.consumers[in], opID)
+	}
+	return out
+}
+
+// MarkOutputNamed flags an operand as a kernel output under a user-facing
+// alias (used when the computed operand has a synthesized internal name).
+func (g *Graph) MarkOutputNamed(id NodeID, alias string) {
+	g.MarkOutput(id)
+	if alias != "" {
+		g.outputAlias[id] = alias
+		if _, exists := g.byName[alias]; !exists {
+			g.byName[alias] = id
+		}
+	}
+}
+
+// OutputName returns the user-facing name of an output operand: its alias
+// if one was given, otherwise its operand name.
+func (g *Graph) OutputName(id NodeID) string {
+	if a, ok := g.outputAlias[id]; ok {
+		return a
+	}
+	return g.Name(id)
+}
+
+// MarkOutput flags an operand as a kernel output. Outputs are reported in
+// mark order. Marking the same operand twice is an error.
+func (g *Graph) MarkOutput(id NodeID) {
+	if !g.isOperand(id) {
+		panic(fmt.Sprintf("dfg: MarkOutput of non-operand %d", id))
+	}
+	for _, o := range g.outputs {
+		if o == id {
+			panic(fmt.Sprintf("dfg: operand %q already marked output", g.Name(id)))
+		}
+	}
+	g.outputs = append(g.outputs, id)
+}
+
+func (g *Graph) isOperand(id NodeID) bool {
+	return id >= 0 && int(id) < len(g.nodes) && g.nodes[id].kind == KindOperand
+}
+
+func (g *Graph) isOp(id NodeID) bool {
+	return id >= 0 && int(id) < len(g.nodes) && g.nodes[id].kind == KindOp
+}
+
+// NumNodes returns the total node count (operands + ops).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Kind returns the node's kind.
+func (g *Graph) Kind(id NodeID) Kind { return g.nodes[id].kind }
+
+// OpType returns the logic operation of an op node.
+func (g *Graph) OpType(id NodeID) logic.Op {
+	if !g.isOp(id) {
+		panic(fmt.Sprintf("dfg: OpType of non-op node %d", id))
+	}
+	return g.nodes[id].op
+}
+
+// Name returns the node's name.
+func (g *Graph) Name(id NodeID) string { return g.nodes[id].name }
+
+// OperandByName resolves an operand name, reporting whether it exists.
+func (g *Graph) OperandByName(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// Inputs returns the kernel-input operands in creation order (a copy).
+func (g *Graph) Inputs() []NodeID { return append([]NodeID(nil), g.inputs...) }
+
+// Outputs returns the operands marked as outputs in mark order (a copy).
+func (g *Graph) Outputs() []NodeID { return append([]NodeID(nil), g.outputs...) }
+
+// IsOutput reports whether the operand is a kernel output.
+func (g *Graph) IsOutput(id NodeID) bool {
+	for _, o := range g.outputs {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// OpNodes returns all op node IDs in creation (and therefore topological)
+// order.
+func (g *Graph) OpNodes() []NodeID {
+	out := make([]NodeID, 0, len(g.opInputs))
+	for id := range g.nodes {
+		if g.nodes[id].kind == KindOp {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// Operands returns all operand node IDs in creation order.
+func (g *Graph) Operands() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes)-len(g.opInputs))
+	for id := range g.nodes {
+		if g.nodes[id].kind == KindOperand {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// OpInputs returns the ordered input operands of an op node (a copy).
+func (g *Graph) OpInputs(op NodeID) []NodeID {
+	if !g.isOp(op) {
+		panic(fmt.Sprintf("dfg: OpInputs of non-op node %d", op))
+	}
+	return append([]NodeID(nil), g.opInputs[op]...)
+}
+
+// OpOutput returns the result operand of an op node.
+func (g *Graph) OpOutput(op NodeID) NodeID {
+	if !g.isOp(op) {
+		panic(fmt.Sprintf("dfg: OpOutput of non-op node %d", op))
+	}
+	return g.opOutput[op]
+}
+
+// Producer returns the op node producing the operand, or NoNode for kernel
+// inputs.
+func (g *Graph) Producer(operand NodeID) NodeID {
+	if !g.isOperand(operand) {
+		panic(fmt.Sprintf("dfg: Producer of non-operand node %d", operand))
+	}
+	if p, ok := g.producer[operand]; ok {
+		return p
+	}
+	return NoNode
+}
+
+// Consumers returns the op nodes consuming the operand (a copy).
+func (g *Graph) Consumers(operand NodeID) []NodeID {
+	if !g.isOperand(operand) {
+		panic(fmt.Sprintf("dfg: Consumers of non-operand node %d", operand))
+	}
+	return append([]NodeID(nil), g.consumers[operand]...)
+}
+
+// OpPreds returns the distinct op nodes whose outputs feed op, in input
+// order.
+func (g *Graph) OpPreds(op NodeID) []NodeID {
+	var preds []NodeID
+	seen := make(map[NodeID]bool)
+	for _, in := range g.opInputs[op] {
+		if p, ok := g.producer[in]; ok && !seen[p] {
+			seen[p] = true
+			preds = append(preds, p)
+		}
+	}
+	return preds
+}
+
+// OpSuccs returns the distinct op nodes consuming op's output.
+func (g *Graph) OpSuccs(op NodeID) []NodeID {
+	out := g.opOutput[op]
+	var succs []NodeID
+	seen := make(map[NodeID]bool)
+	for _, c := range g.consumers[out] {
+		if !seen[c] {
+			seen[c] = true
+			succs = append(succs, c)
+		}
+	}
+	return succs
+}
+
+// TopoOps returns op nodes in a valid topological order. Because AddOp only
+// references pre-existing operands, creation order is already topological.
+func (g *Graph) TopoOps() []NodeID { return g.OpNodes() }
+
+// BLevels computes the b-level (longest path to any sink, counting op nodes
+// as weight 1) of every op node.
+func (g *Graph) BLevels() map[NodeID]int {
+	ops := g.TopoOps()
+	bl := make(map[NodeID]int, len(ops))
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		best := 0
+		for _, s := range g.OpSuccs(op) {
+			if bl[s] > best {
+				best = bl[s]
+			}
+		}
+		bl[op] = best + 1
+	}
+	return bl
+}
+
+// TLevels computes the t-level (longest path from any source, exclusive of
+// the node itself) of every op node.
+func (g *Graph) TLevels() map[NodeID]int {
+	tl := make(map[NodeID]int)
+	for _, op := range g.TopoOps() {
+		best := 0
+		for _, p := range g.OpPreds(op) {
+			if tl[p]+1 > best {
+				best = tl[p] + 1
+			}
+		}
+		tl[op] = best
+	}
+	return tl
+}
+
+// OpsByPriority returns op nodes sorted by descending b-level, ties broken
+// by ascending ID for determinism. This is the node queue nq used by both
+// Algorithm 1 and Algorithm 2.
+func (g *Graph) OpsByPriority() []NodeID {
+	bl := g.BLevels()
+	ops := g.OpNodes()
+	sort.SliceStable(ops, func(i, j int) bool {
+		if bl[ops[i]] != bl[ops[j]] {
+			return bl[ops[i]] > bl[ops[j]]
+		}
+		return ops[i] < ops[j]
+	})
+	return ops
+}
+
+// CriticalPathLength returns the maximum b-level (0 for an empty graph).
+func (g *Graph) CriticalPathLength() int {
+	best := 0
+	for _, v := range g.BLevels() {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Stats summarizes a graph.
+type Stats struct {
+	Ops          int
+	Operands     int
+	Inputs       int
+	Outputs      int
+	MaxArity     int
+	CriticalPath int
+	ByOp         map[logic.Op]int
+	// OpsWithArityOver2 counts op nodes with more than two operands
+	// (multi-row-activation ops, the Fig. 6 x-axis).
+	OpsWithArityOver2 int
+}
+
+// ComputeStats walks the graph once and summarizes it.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{ByOp: make(map[logic.Op]int)}
+	for id := range g.nodes {
+		switch g.nodes[id].kind {
+		case KindOperand:
+			s.Operands++
+		case KindOp:
+			s.Ops++
+			s.ByOp[g.nodes[id].op]++
+			ar := len(g.opInputs[NodeID(id)])
+			if ar > s.MaxArity {
+				s.MaxArity = ar
+			}
+			if ar > 2 {
+				s.OpsWithArityOver2++
+			}
+		}
+	}
+	s.Inputs = len(g.inputs)
+	s.Outputs = len(g.outputs)
+	s.CriticalPath = g.CriticalPathLength()
+	return s
+}
+
+// Validate checks structural invariants. Graphs built through the public
+// API always pass; transforms use it as a self-check.
+func (g *Graph) Validate() error {
+	for id := range g.nodes {
+		nid := NodeID(id)
+		switch g.nodes[id].kind {
+		case KindOp:
+			ins := g.opInputs[nid]
+			op := g.nodes[id].op
+			if op.IsUnary() && len(ins) != 1 {
+				return fmt.Errorf("op %d (%v) has %d inputs, want 1", id, op, len(ins))
+			}
+			if !op.IsUnary() && len(ins) < 2 {
+				return fmt.Errorf("op %d (%v) has %d inputs, want >=2", id, op, len(ins))
+			}
+			for _, in := range ins {
+				if !g.isOperand(in) {
+					return fmt.Errorf("op %d input %d is not an operand", id, in)
+				}
+				if in >= nid {
+					return fmt.Errorf("op %d consumes operand %d created later (cycle risk)", id, in)
+				}
+			}
+			out, ok := g.opOutput[nid]
+			if !ok || !g.isOperand(out) {
+				return fmt.Errorf("op %d has no output operand", id)
+			}
+			if g.producer[out] != nid {
+				return fmt.Errorf("op %d output %d producer mismatch", id, out)
+			}
+		case KindOperand:
+			if p, ok := g.producer[nid]; ok {
+				if !g.isOp(p) {
+					return fmt.Errorf("operand %d producer %d is not an op", id, p)
+				}
+			}
+		default:
+			return fmt.Errorf("node %d has invalid kind", id)
+		}
+	}
+	for _, out := range g.outputs {
+		if !g.isOperand(out) {
+			return fmt.Errorf("output %d is not an operand", out)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nodes = append([]node(nil), g.nodes...)
+	for k, v := range g.opInputs {
+		c.opInputs[k] = append([]NodeID(nil), v...)
+	}
+	for k, v := range g.opOutput {
+		c.opOutput[k] = v
+	}
+	for k, v := range g.producer {
+		c.producer[k] = v
+	}
+	for k, v := range g.consumers {
+		c.consumers[k] = append([]NodeID(nil), v...)
+	}
+	c.inputs = append([]NodeID(nil), g.inputs...)
+	c.outputs = append([]NodeID(nil), g.outputs...)
+	for k, v := range g.byName {
+		c.byName[k] = v
+	}
+	for k, v := range g.outputAlias {
+		c.outputAlias[k] = v
+	}
+	return c
+}

@@ -1,0 +1,119 @@
+package dfg
+
+import (
+	"fmt"
+
+	"sherlock/internal/bitvec"
+)
+
+// Evaluate computes every operand's value given an assignment of all kernel
+// inputs. It is the golden functional semantics against which the mapped
+// and simulated program is verified.
+func Evaluate(g *Graph, inputs map[NodeID]bool) (map[NodeID]bool, error) {
+	vals := make(map[NodeID]bool, len(g.nodes))
+	for _, in := range g.inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("dfg: missing value for input %q", g.Name(in))
+		}
+		vals[in] = v
+	}
+	for _, op := range g.TopoOps() {
+		bits := make([]bool, len(g.opInputs[op]))
+		for i, in := range g.opInputs[op] {
+			v, ok := vals[in]
+			if !ok {
+				return nil, fmt.Errorf("dfg: operand %q used before defined", g.Name(in))
+			}
+			bits[i] = v
+		}
+		vals[g.opOutput[op]] = g.nodes[op].op.Eval(bits...)
+	}
+	return vals, nil
+}
+
+// EvaluateByName is Evaluate with string-keyed inputs and outputs: it takes
+// kernel input values by name and returns the kernel outputs by their
+// user-facing names.
+func EvaluateByName(g *Graph, inputs map[string]bool) (map[string]bool, error) {
+	byID := make(map[NodeID]bool, len(inputs))
+	for _, in := range g.inputs {
+		v, ok := inputs[g.Name(in)]
+		if !ok {
+			return nil, fmt.Errorf("dfg: missing value for input %q", g.Name(in))
+		}
+		byID[in] = v
+	}
+	vals, err := Evaluate(g, byID)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(g.outputs))
+	for _, o := range g.outputs {
+		out[g.OutputName(o)] = vals[o]
+	}
+	return out, nil
+}
+
+// EvaluateVectors runs the kernel over whole bit-vectors at once (the bulk
+// dimension): input vectors must share one length, and each output vector's
+// bit i is the kernel applied to bit i of every input.
+func EvaluateVectors(g *Graph, inputs map[string]*bitvec.Vector) (map[string]*bitvec.Vector, error) {
+	n := -1
+	for name, v := range inputs {
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return nil, fmt.Errorf("dfg: input %q length %d != %d", name, v.Len(), n)
+		}
+	}
+	if n == -1 {
+		n = 0
+	}
+	outs := make(map[string]*bitvec.Vector, len(g.outputs))
+	for _, o := range g.outputs {
+		outs[g.OutputName(o)] = bitvec.New(n)
+	}
+	scalarIn := make(map[string]bool, len(inputs))
+	for i := 0; i < n; i++ {
+		for name, v := range inputs {
+			scalarIn[name] = v.Get(i)
+		}
+		res, err := EvaluateByName(g, scalarIn)
+		if err != nil {
+			return nil, err
+		}
+		for name, b := range res {
+			outs[name].Set(i, b)
+		}
+	}
+	return outs, nil
+}
+
+// EquivalentOn checks that two graphs with identical input/output signatures
+// agree on the given input assignments; it returns the first disagreement.
+func EquivalentOn(a, b *Graph, assignments []map[string]bool) error {
+	for i, in := range assignments {
+		ra, err := EvaluateByName(a, in)
+		if err != nil {
+			return fmt.Errorf("graph a, assignment %d: %w", i, err)
+		}
+		rb, err := EvaluateByName(b, in)
+		if err != nil {
+			return fmt.Errorf("graph b, assignment %d: %w", i, err)
+		}
+		if len(ra) != len(rb) {
+			return fmt.Errorf("assignment %d: output count %d vs %d", i, len(ra), len(rb))
+		}
+		for name, va := range ra {
+			vb, ok := rb[name]
+			if !ok {
+				return fmt.Errorf("assignment %d: output %q missing from graph b", i, name)
+			}
+			if va != vb {
+				return fmt.Errorf("assignment %d: output %q differs (%v vs %v)", i, name, va, vb)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+// Table 2 (latency/energy across technologies, array sizes, mappers and
+// multi-row-activation settings), Fig. 2b (decision-failure statistics),
+// Fig. 6 (reliability vs latency under the MRA sweep) and Fig. 7 (EDP vs
+// the CPU baseline).
+//
+// The SIMD ("bulk") dimension: a mapped program computes one bit-slice per
+// lane; the macro drives Lanes(n) lane slices from one instruction stream
+// (Table 1 pairs an n x n array with a 4n data width). Latency is
+// lane-independent, energy scales with the lane count, and reliability is
+// reported per lane (per result), matching Fig. 6's magnitudes.
+package experiments
+
+import (
+	"fmt"
+
+	"sherlock/internal/arraymodel"
+	"sherlock/internal/device"
+	"sherlock/internal/dfg"
+	"sherlock/internal/layout"
+	"sherlock/internal/logic"
+	"sherlock/internal/mapping"
+	"sherlock/internal/sim"
+	"sherlock/internal/workloads/aes"
+	"sherlock/internal/workloads/bitweaving"
+	"sherlock/internal/workloads/sobel"
+)
+
+// Workload enumerates the evaluation kernels.
+type Workload int
+
+// The paper's three benchmarks.
+const (
+	Bitweaving Workload = iota
+	Sobel
+	AES
+)
+
+// Workloads lists the benchmarks in the paper's presentation order.
+func Workloads() []Workload { return []Workload{Bitweaving, Sobel, AES} }
+
+func (w Workload) String() string {
+	switch w {
+	case Bitweaving:
+		return "Bitweaving"
+	case Sobel:
+		return "Sobel"
+	case AES:
+		return "AES"
+	}
+	return fmt.Sprintf("Workload(%d)", int(w))
+}
+
+// Setup parameterizes one experiment campaign.
+type Setup struct {
+	Techs      []device.Technology
+	ArraySizes []int // squared array dimensions (Table 1: 128..1024)
+	Arrays     int   // arrays available to the mapper per target
+	MaxRows    int   // arity bound for MRA >= 2 node substitution
+
+	BW    bitweaving.Config
+	Sobel sobel.Config
+	AES   aes.Config
+}
+
+// DefaultSetup is the full-scale campaign (complete AES-128).
+func DefaultSetup() Setup {
+	return Setup{
+		Techs:      []device.Technology{device.ReRAM, device.STTMRAM},
+		ArraySizes: []int{1024, 512},
+		Arrays:     4,
+		MaxRows:    4,
+		BW:         bitweaving.DefaultConfig(),
+		Sobel:      sobel.DefaultConfig(),
+		AES:        aes.DefaultConfig(),
+	}
+}
+
+// QuickSetup shrinks the kernels (2-round AES, smaller tiles) so tests and
+// benchmarks iterate fast while exercising identical code paths.
+func QuickSetup() Setup {
+	s := DefaultSetup()
+	s.BW = bitweaving.Config{Bits: 8, Segments: 4}
+	s.Sobel = sobel.Config{TileW: 2, TileH: 2, PixelBits: 8, Threshold: 128}
+	s.AES = aes.Config{Rounds: 2}
+	return s
+}
+
+// Lanes returns the SIMD width for an array dimension (Table 1: 4n).
+func Lanes(arraySize int) int { return 4 * arraySize }
+
+// Runner memoizes built graphs and mappings across experiments (the same
+// program is costed under several technologies).
+type Runner struct {
+	setup  Setup
+	graphs map[graphKey]*dfg.Graph
+	mapped map[mapKey]*mapping.Result
+}
+
+// NewRunner builds a Runner for the setup.
+func NewRunner(s Setup) *Runner {
+	return &Runner{
+		setup:  s,
+		graphs: make(map[graphKey]*dfg.Graph),
+		mapped: make(map[mapKey]*mapping.Result),
+	}
+}
+
+// Setup returns the campaign parameters.
+func (r *Runner) Setup() Setup { return r.setup }
+
+type graphKey struct {
+	w    Workload
+	frac int // substitution fraction in percent (0 = MRA 2 only)
+	nand bool
+	// costTech+1 when the fusion selection is ranked by that technology's
+	// decision-failure cost (the optimized flow of Fig. 6); 0 = seeded
+	// random order (the mapping-blind baseline).
+	costTech int
+}
+
+type mapKey struct {
+	g     graphKey
+	size  int
+	naive bool
+}
+
+// Graph returns the workload DFG after the requested transformations:
+// substFraction of the node-substitution opportunities applied (Sec. 3.3.3)
+// and, optionally, NAND lowering (Fig. 6b's STT-MRAM variant).
+func (r *Runner) Graph(w Workload, substFraction float64, nand bool) (*dfg.Graph, error) {
+	return r.graph(graphKey{w: w, frac: fracPct(substFraction), nand: nand})
+}
+
+// GraphCostAware is Graph with the fusion candidates ranked by the given
+// technology's decision-failure cost instead of the blind seeded order.
+func (r *Runner) GraphCostAware(w Workload, substFraction float64, nand bool, tech device.Technology) (*dfg.Graph, error) {
+	return r.graph(graphKey{w: w, frac: fracPct(substFraction), nand: nand, costTech: int(tech) + 1})
+}
+
+func fracPct(f float64) int { return int(f*100 + 0.5) }
+
+func (r *Runner) graph(key graphKey) (*dfg.Graph, error) {
+	if g, ok := r.graphs[key]; ok {
+		return g, nil
+	}
+	base, err := r.buildBase(key.w)
+	if err != nil {
+		return nil, err
+	}
+	g := base
+	if key.frac > 0 {
+		opts := dfg.SubstituteOptions{
+			MaxOperands: r.setup.MaxRows,
+			Fraction:    float64(key.frac) / 100,
+			Seed:        1,
+		}
+		if key.costTech > 0 {
+			params := device.ParamsFor(device.Technology(key.costTech - 1))
+			nand := key.nand
+			opts.CostOf = func(op logic.Op, fusedArity int) float64 {
+				if fusedArity > params.MaxRows {
+					fusedArity = params.MaxRows
+				}
+				if nand {
+					// The kernel is NAND-lowered after fusion: ORs become
+					// wide NANDs; fused XORs are re-expanded to binary
+					// trees, so their fusion buys nothing — deprioritize.
+					switch op {
+					case logic.Or, logic.Nor:
+						op = logic.Nand
+					case logic.Xor, logic.Xnor:
+						return 1
+					}
+				}
+				if !op.IsSense() {
+					return 0
+				}
+				return params.DecisionFailure(op, fusedArity)
+			}
+		}
+		g, _ = dfg.SubstituteNodes(g, opts)
+	}
+	if key.nand {
+		g, _ = dfg.LowerToNAND(g)
+	}
+	r.graphs[key] = g
+	return g, nil
+}
+
+func (r *Runner) buildBase(w Workload) (*dfg.Graph, error) {
+	key := graphKey{w: w, frac: -1}
+	if g, ok := r.graphs[key]; ok {
+		return g, nil
+	}
+	var g *dfg.Graph
+	var err error
+	switch w {
+	case Bitweaving:
+		g, err = bitweaving.Build(r.setup.BW)
+	case Sobel:
+		g, err = sobel.Build(r.setup.Sobel)
+	case AES:
+		g, err = aes.Build(r.setup.AES)
+	default:
+		err = fmt.Errorf("experiments: unknown workload %v", w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.graphs[key] = g
+	return g, nil
+}
+
+// Map compiles the (transformed) workload onto an arraySize x arraySize
+// target with the selected mapper, memoizing the result.
+func (r *Runner) Map(w Workload, substFraction float64, nand bool, arraySize int, naive bool) (*mapping.Result, error) {
+	return r.mapGraph(graphKey{w: w, frac: fracPct(substFraction), nand: nand}, arraySize, naive)
+}
+
+// MapCostAware is Map over a cost-aware-fused graph (see GraphCostAware).
+func (r *Runner) MapCostAware(w Workload, substFraction float64, nand bool, tech device.Technology, arraySize int, naive bool) (*mapping.Result, error) {
+	return r.mapGraph(graphKey{w: w, frac: fracPct(substFraction), nand: nand, costTech: int(tech) + 1}, arraySize, naive)
+}
+
+func (r *Runner) mapGraph(gk graphKey, arraySize int, naive bool) (*mapping.Result, error) {
+	key := mapKey{g: gk, size: arraySize, naive: naive}
+	if res, ok := r.mapped[key]; ok {
+		return res, nil
+	}
+	g, err := r.graph(gk)
+	if err != nil {
+		return nil, err
+	}
+	opts := mapping.Options{Target: layout.Target{
+		Arrays: r.setup.Arrays,
+		Rows:   arraySize,
+		Cols:   arraySize,
+	}}
+	var res *mapping.Result
+	if naive {
+		res, err = mapping.Naive(g, opts)
+	} else {
+		res, err = mapping.Optimized(g, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %v (size %d, naive=%v): %w", gk.w, arraySize, naive, err)
+	}
+	r.mapped[key] = res
+	return res, nil
+}
+
+// Cost measures a mapped program under one technology's array model,
+// scaling energy by the lane count.
+func Cost(res *mapping.Result, tech device.Technology, arraySize int) (sim.Cost, error) {
+	cm := arraymodel.New(arraymodel.DefaultConfig(tech, arraySize))
+	c, err := sim.Measure(res.Program, cm)
+	if err != nil {
+		return sim.Cost{}, err
+	}
+	return c.ScaleEnergy(float64(Lanes(arraySize))), nil
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sherlock/internal/device"
+)
+
+// quickRunner is shared across tests in this package; experiments memoize
+// heavily, so reusing one runner keeps the suite fast.
+var quickRunner = NewRunner(QuickSetup())
+
+func TestTable2GridComplete(t *testing.T) {
+	rows, err := Table2(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quickRunner.Setup()
+	want := len(s.Techs) * len(Workloads()) * len(s.ArraySizes) * 2 * 2
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.LatencyUS <= 0 || r.EnergyUJ <= 0 || r.Instructions <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	rows, err := Table2(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(tech device.Technology, w Workload, size int, opt, multi bool) Table2Row {
+		for _, r := range rows {
+			if r.Tech == tech && r.Workload == w && r.ArraySize == size &&
+				r.Optimized == opt && r.MultiRow == multi {
+				return r
+			}
+		}
+		t.Fatalf("row not found")
+		return Table2Row{}
+	}
+	// The optimized mapper must not be worse than naive on latency for the
+	// large multi-column kernels (AES, Sobel).
+	for _, w := range []Workload{Sobel, AES} {
+		for _, size := range quickRunner.Setup().ArraySizes {
+			n := find(device.ReRAM, w, size, false, false)
+			o := find(device.ReRAM, w, size, true, false)
+			if o.LatencyUS > n.LatencyUS {
+				t.Errorf("%v@%d: opt latency %.1f > naive %.1f", w, size, o.LatencyUS, n.LatencyUS)
+			}
+			if o.Instructions >= n.Instructions {
+				t.Errorf("%v@%d: opt instructions %d >= naive %d", w, size, o.Instructions, n.Instructions)
+			}
+		}
+	}
+	// MRA >= 2 lowers naive latency (paper: ~1.28x average).
+	for _, w := range Workloads() {
+		base := find(device.STTMRAM, w, 512, false, false)
+		multi := find(device.STTMRAM, w, 512, false, true)
+		if multi.LatencyUS > base.LatencyUS*1.01 {
+			t.Errorf("%v: naive MRA>=2 latency %.2f worse than MRA=2 %.2f", w, multi.LatencyUS, base.LatencyUS)
+		}
+	}
+	// STT-MRAM is faster than ReRAM on write-heavy kernels (AES).
+	re := find(device.ReRAM, AES, 512, false, false)
+	stt := find(device.STTMRAM, AES, 512, false, false)
+	if stt.LatencyUS >= re.LatencyUS {
+		t.Errorf("STT-MRAM AES latency %.1f >= ReRAM %.1f", stt.LatencyUS, re.LatencyUS)
+	}
+}
+
+func TestSummarizeRatios(t *testing.T) {
+	rows, err := Table2(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(rows)
+	if s.GeomeanLatencyGain < 1 {
+		t.Errorf("opt latency gain %.2f < 1", s.GeomeanLatencyGain)
+	}
+	if s.GeomeanEnergyGain < 1 {
+		t.Errorf("opt energy gain %.2f < 1", s.GeomeanEnergyGain)
+	}
+	if s.NaiveMRALatencyGain < 1 {
+		t.Errorf("MRA latency gain %.2f < 1", s.NaiveMRALatencyGain)
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	rows, err := Table2(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable2(rows)
+	for _, want := range []string{"Bitweaving", "AES", "ReRAM", "naive", ">=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 render missing %q", want)
+		}
+	}
+	f2 := RenderFig2b(Fig2b(device.Technologies()))
+	for _, want := range []string{"STT-MRAM", "AND", "P_DF"} {
+		if !strings.Contains(f2, want) {
+			t.Errorf("Fig 2b render missing %q", want)
+		}
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	rows := Fig2b([]device.Technology{device.STTMRAM, device.ReRAM})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.PDF <= 0 || r.PDF >= 1 || r.MarginZ <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestFig6SweepShape(t *testing.T) {
+	series, err := Fig6(quickRunner, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 { // 2 techs x 2 mappers
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 5 {
+			t.Fatalf("points = %d, want 5", len(s.Points))
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		// Allowing all fusions must reduce latency and raise (or keep)
+		// P_app relative to none.
+		if last.LatencyNS >= first.LatencyNS {
+			t.Errorf("%v opt=%v: latency did not improve across sweep", s.Tech, s.Optimized)
+		}
+		if last.PApp < first.PApp {
+			t.Errorf("%v opt=%v: P_app decreased with more MRA", s.Tech, s.Optimized)
+		}
+		if last.AchievedMRAPercent <= 0 {
+			t.Errorf("%v opt=%v: no multi-operand ops at full fraction", s.Tech, s.Optimized)
+		}
+	}
+	out := RenderFig6(series)
+	if !strings.Contains(out, "NAND-based") {
+		t.Error("render missing STT-MRAM NAND variant marker")
+	}
+	// ReRAM stays usable (paper: < 1e-4 is highly reliable); STT-MRAM
+	// lands around 1e-2 (tolerant applications only).
+	for _, s := range series {
+		last := s.Points[len(s.Points)-1]
+		if s.Tech == device.ReRAM && last.PApp > 1e-2 {
+			t.Errorf("ReRAM P_app %.2e implausibly high", last.PApp)
+		}
+		if s.Tech == device.STTMRAM && (last.PApp < 1e-4 || last.PApp > 0.9) {
+			t.Errorf("STT-MRAM P_app %.2e outside the paper's band", last.PApp)
+		}
+	}
+}
+
+func TestFig6CostAwareHelpsReRAM(t *testing.T) {
+	series, err := Fig6(quickRunner, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gains := Fig6Summary(series)
+	if gains[device.ReRAM] < 1 {
+		t.Errorf("opt P_app gain on ReRAM = %.2f, want >= 1", gains[device.ReRAM])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows, err := Fig7(quickRunner, []int{128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Workloads())*2*2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sttBeatsReRAM, anyBigGain bool
+	byKey := make(map[string]Fig7Row)
+	for _, r := range rows {
+		if r.CIMEDP <= 0 || r.CPUEDP <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		byKey[r.Workload.String()+r.Tech.String()+string(rune(r.ArraySize))] = r
+		if r.EDPGain > 20 {
+			anyBigGain = true
+		}
+	}
+	for _, w := range Workloads() {
+		for _, size := range []int{128, 512} {
+			re := byKey[w.String()+device.ReRAM.String()+string(rune(size))]
+			stt := byKey[w.String()+device.STTMRAM.String()+string(rune(size))]
+			if stt.CIMEDP < re.CIMEDP {
+				sttBeatsReRAM = true
+			}
+		}
+	}
+	if !sttBeatsReRAM {
+		t.Error("STT-MRAM never beats ReRAM on EDP (paper: ~10x)")
+	}
+	if !anyBigGain {
+		t.Error("no configuration shows a large EDP gain over the CPU")
+	}
+	if out := RenderFig7(rows); !strings.Contains(out, "Gain") {
+		t.Error("Fig 7 render malformed")
+	}
+}
+
+func TestRunnerMemoization(t *testing.T) {
+	r := NewRunner(QuickSetup())
+	a, err := r.Map(Bitweaving, 0, false, 512, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Map(Bitweaving, 0, false, 512, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Map not memoized")
+	}
+	g1, _ := r.Graph(Bitweaving, 1, false)
+	g2, _ := r.GraphCostAware(Bitweaving, 1, false, device.ReRAM)
+	if g1 == g2 {
+		t.Error("cost-aware graph shares cache slot with blind graph")
+	}
+}
+
+func TestMonteCarloValidatesAnalyticalModel(t *testing.T) {
+	// On STT-MRAM the bitweaving kernel has a large P_app, so a modest
+	// run count gives a tight estimate: the observed fault rate must
+	// track the closed-form P_app, and masking keeps the output error
+	// rate at or below it.
+	mc, err := MonteCarlo(quickRunner, Bitweaving, device.STTMRAM, 128, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.AnalyticalPApp < 0.01 {
+		t.Fatalf("P_app %.3e too small for a statistical test", mc.AnalyticalPApp)
+	}
+	lo, hi := mc.AnalyticalPApp*0.7, mc.AnalyticalPApp*1.3+0.05
+	if mc.ObservedFaultRate < lo || mc.ObservedFaultRate > hi {
+		t.Errorf("observed fault rate %.3f outside [%.3f, %.3f] around analytical %.3f",
+			mc.ObservedFaultRate, lo, hi, mc.AnalyticalPApp)
+	}
+	if mc.ObservedErrorRate > mc.ObservedFaultRate {
+		t.Errorf("output error rate %.3f exceeds fault rate %.3f", mc.ObservedErrorRate, mc.ObservedFaultRate)
+	}
+	if mc.FaultsInjected == 0 {
+		t.Error("no faults injected")
+	}
+	if out := RenderMC([]MCResult{mc}); !strings.Contains(out, "masking") {
+		t.Error("render malformed")
+	}
+}
+
+func TestMonteCarloReRAMIsQuiet(t *testing.T) {
+	// ReRAM's P_app is tiny: hundreds of runs should see (almost) no
+	// faults.
+	mc, err := MonteCarlo(quickRunner, Bitweaving, device.ReRAM, 128, 100, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.ObservedFaultRate > 0.1 {
+		t.Errorf("ReRAM observed fault rate %.3f implausibly high (P_app %.3e)",
+			mc.ObservedFaultRate, mc.AnalyticalPApp)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sherlock/internal/device"
+	"sherlock/internal/logic"
+)
+
+// Fig2bRow is one decision-failure data point: a technology, sense
+// operation and activated-row count, with the failure probability and
+// sense margin of the composite distributions (the overlap of Fig. 2b).
+type Fig2bRow struct {
+	Tech    device.Technology
+	Op      logic.Op
+	Rows    int
+	PDF     float64
+	MarginZ float64 // separation in combined standard deviations
+}
+
+// Fig2b tabulates P_DF across technologies, operations and row counts —
+// the quantitative content of the paper's Fig. 2b.
+func Fig2b(techs []device.Technology) []Fig2bRow {
+	var rows []Fig2bRow
+	for _, tech := range techs {
+		p := device.ParamsFor(tech)
+		for _, op := range []logic.Op{logic.And, logic.Or, logic.Xor} {
+			for k := 2; k <= p.MaxRows; k++ {
+				rows = append(rows, Fig2bRow{
+					Tech:    tech,
+					Op:      op,
+					Rows:    k,
+					PDF:     p.DecisionFailure(op, k),
+					MarginZ: p.SenseMargin(op, k),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// RenderFig2b prints the decision-failure table.
+func RenderFig2b(rows []Fig2bRow) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 2b: decision failure vs simultaneously activated rows\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-5s %-5s %12s %10s\n", "Tech", "Op", "Rows", "P_DF", "margin(z)"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %-5s %-5d %12.3e %10.2f\n",
+			r.Tech, r.Op, r.Rows, r.PDF, r.MarginZ))
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sherlock/internal/device"
+	"sherlock/internal/dfg"
+	"sherlock/internal/mapping"
+	"sherlock/internal/reliability"
+)
+
+// Fig6Series is one curve of Fig. 6: a (technology, mapper) pair swept over
+// the allowed fraction of >2-operand fusions. On STT-MRAM the kernel is
+// NAND-lowered first (Fig. 6b); on ReRAM the native XOR/OR reads are kept
+// (Fig. 6a).
+type Fig6Series struct {
+	Tech      device.Technology
+	Optimized bool
+	Workload  Workload
+	Points    []reliability.Point
+}
+
+// Fig6 sweeps the MRA fraction for the bitweaving kernel (the paper's
+// Fig. 6 subject) on the given array size.
+func Fig6(r *Runner, arraySize int) ([]Fig6Series, error) {
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
+	var out []Fig6Series
+	for _, tech := range r.Setup().Techs {
+		params := device.ParamsFor(tech)
+		nand := tech == device.STTMRAM
+		for _, optimized := range []bool{false, true} {
+			series := Fig6Series{Tech: tech, Optimized: optimized, Workload: Bitweaving}
+			for _, frac := range fractions {
+				// The optimized flow chooses *which* fusions to apply with
+				// the technology's decision-failure cost in the loop
+				// (Sec. 4.2); the naive flow fuses blindly.
+				var res *mapping.Result
+				var g *dfg.Graph
+				var err error
+				if optimized {
+					res, err = r.MapCostAware(Bitweaving, frac, nand, tech, arraySize, false)
+					if err == nil {
+						g, err = r.GraphCostAware(Bitweaving, frac, nand, tech)
+					}
+				} else {
+					res, err = r.Map(Bitweaving, frac, nand, arraySize, true)
+					if err == nil {
+						g, err = r.Graph(Bitweaving, frac, nand)
+					}
+				}
+				if err != nil {
+					return nil, err
+				}
+				cost, err := Cost(res, tech, arraySize)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := reliability.Assess(res.Program, params)
+				if err != nil {
+					return nil, err
+				}
+				st := g.ComputeStats()
+				achieved := 0.0
+				if st.Ops > 0 {
+					achieved = 100 * float64(st.OpsWithArityOver2) / float64(st.Ops)
+				}
+				series.Points = append(series.Points, reliability.Point{
+					AllowedFraction:    frac,
+					AchievedMRAPercent: achieved,
+					LatencyNS:          cost.LatencyNS,
+					EnergyPJ:           cost.EnergyPJ,
+					PApp:               rep.PApp,
+					Instructions:       res.Stats.Instructions,
+				})
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// RenderFig6 prints the sweep curves.
+func RenderFig6(series []Fig6Series) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6: reliability vs latency under the allowed MRA(>2) fraction\n")
+	for _, s := range series {
+		mapper := "naive"
+		if s.Optimized {
+			mapper = "opt"
+		}
+		variant := ""
+		if s.Tech == device.STTMRAM {
+			variant = " (NAND-based XOR/OR)"
+		}
+		sb.WriteString(fmt.Sprintf("-- %s / %s / %s%s\n", s.Tech, s.Workload, mapper, variant))
+		sb.WriteString(fmt.Sprintf("   %-9s %-9s %14s %12s\n", "allowed", "MRA>2(%)", "latency(ns)", "P_app"))
+		for _, p := range s.Points {
+			sb.WriteString(fmt.Sprintf("   %-9.2f %-9.1f %14.1f %12.3e\n",
+				p.AllowedFraction, p.AchievedMRAPercent, p.LatencyNS, p.PApp))
+		}
+	}
+	return sb.String()
+}
+
+// Fig6Summary reports the paper's headline reliability claim: the average
+// P_app improvement of opt over naive per technology.
+func Fig6Summary(series []Fig6Series) map[device.Technology]float64 {
+	type key struct {
+		tech device.Technology
+		opt  bool
+	}
+	byKey := make(map[key]Fig6Series)
+	for _, s := range series {
+		byKey[key{s.Tech, s.Optimized}] = s
+	}
+	out := make(map[device.Technology]float64)
+	for k, naive := range byKey {
+		if k.opt {
+			continue
+		}
+		opt, ok := byKey[key{k.tech, true}]
+		if !ok || len(opt.Points) != len(naive.Points) {
+			continue
+		}
+		prod, n := 1.0, 0
+		for i := range naive.Points {
+			if opt.Points[i].PApp > 0 && naive.Points[i].PApp > 0 {
+				prod *= naive.Points[i].PApp / opt.Points[i].PApp
+				n++
+			}
+		}
+		if n > 0 {
+			out[k.tech] = powf(prod, 1/float64(n))
+		}
+	}
+	return out
+}

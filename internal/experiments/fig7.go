@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sherlock/internal/cpu"
+	"sherlock/internal/device"
+)
+
+func powf(x, e float64) float64 { return math.Pow(x, e) }
+
+// Fig7Row compares one CIM configuration's energy-delay product against
+// the CPU baseline running the same amount of work.
+type Fig7Row struct {
+	Workload  Workload
+	Tech      device.Technology
+	ArraySize int
+
+	Elements int // work items processed by one CIM program execution
+
+	CIMEDP  float64 // pJ*ns
+	CPUEDP  float64
+	EDPGain float64 // CPUEDP / CIMEDP
+}
+
+// Fig7 runs the optimized (MRA >= 2) CIM configurations against the CPU
+// model. Work normalization: one CIM execution processes Lanes(n)
+// SIMD lanes; each lane is one work item per kernel instance (a scanned
+// value for bitweaving, an output pixel for Sobel, an encrypted block for
+// AES).
+func Fig7(r *Runner, sizes []int) ([]Fig7Row, error) {
+	h := cpu.DefaultHierarchy()
+	var rows []Fig7Row
+	for _, w := range Workloads() {
+		for _, tech := range r.Setup().Techs {
+			for _, size := range sizes {
+				res, err := r.Map(w, 1.0, false, size, false)
+				if err != nil {
+					return nil, err
+				}
+				cost, err := Cost(res, tech, size)
+				if err != nil {
+					return nil, err
+				}
+				lanes := Lanes(size)
+				var elements int
+				var cpuCost cpu.Cost
+				switch w {
+				case Bitweaving:
+					elements = r.Setup().BW.Segments * lanes
+					cpuCost = cpu.RunBitweaving(h, elements, r.Setup().BW.Bits)
+				case Sobel:
+					elements = r.Setup().Sobel.TileW * r.Setup().Sobel.TileH * lanes
+					dim := int(math.Sqrt(float64(elements))) + 3
+					cpuCost = cpu.RunSobel(h, dim, dim)
+				case AES:
+					elements = lanes
+					st := res.Graph.ComputeStats()
+					cpuCost = cpu.RunAES(h, elements, st.Ops, st.Operands)
+				}
+				row := Fig7Row{
+					Workload:  w,
+					Tech:      tech,
+					ArraySize: size,
+					Elements:  elements,
+					CIMEDP:    cost.EDP(),
+					CPUEDP:    cpuCost.EDP(),
+				}
+				if row.CIMEDP > 0 {
+					row.EDPGain = row.CPUEDP / row.CIMEDP
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig7 prints the EDP comparison.
+func RenderFig7(rows []Fig7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 7: energy-delay product vs CPU baseline (optimized mapping, MRA>=2)\n")
+	sb.WriteString(fmt.Sprintf("%-11s %-10s %-6s %10s %14s %14s %10s\n",
+		"Benchmark", "Tech", "Array", "Elements", "CIM EDP", "CPU EDP", "Gain"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-11s %-10s %-6d %10d %14.3e %14.3e %9.1fx\n",
+			r.Workload, r.Tech, r.ArraySize, r.Elements, r.CIMEDP, r.CPUEDP, r.EDPGain))
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sherlock/internal/device"
+	"sherlock/internal/dfg"
+	"sherlock/internal/reliability"
+	"sherlock/internal/sim"
+)
+
+// MCResult validates the analytical reliability model by Monte-Carlo
+// simulation: the mapped program runs many times with fault injection
+// (every sense decision flips with its P_DF), and the observed rate of
+// runs with at least one fault is compared against the closed-form P_app.
+// The output-corruption rate is also measured; it is lower than P_app
+// because logical masking absorbs part of the injected faults (e.g. a
+// flipped operand of an AND whose other input is 0).
+type MCResult struct {
+	Tech     device.Technology
+	Workload Workload
+	Runs     int
+
+	AnalyticalPApp float64
+	// ObservedFaultRate is the fraction of runs with >= 1 injected fault;
+	// it estimates exactly the event P_app models.
+	ObservedFaultRate float64
+	// ObservedErrorRate is the fraction of runs whose outputs differ from
+	// the golden DFG evaluation.
+	ObservedErrorRate float64
+	FaultsInjected    int
+}
+
+// MaskingFactor is the share of faulty runs whose outputs still came out
+// right.
+func (m MCResult) MaskingFactor() float64 {
+	if m.ObservedFaultRate == 0 {
+		return 0
+	}
+	return 1 - m.ObservedErrorRate/m.ObservedFaultRate
+}
+
+// MonteCarlo runs the fault-injection campaign for a workload on one
+// technology (NAND-lowered on STT-MRAM, as in Fig. 6) with fresh random
+// inputs every run.
+func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs int, seed int64) (MCResult, error) {
+	nand := tech == device.STTMRAM
+	res, err := r.Map(w, 1.0, nand, arraySize, false)
+	if err != nil {
+		return MCResult{}, err
+	}
+	g, err := r.Graph(w, 1.0, nand)
+	if err != nil {
+		return MCResult{}, err
+	}
+	params := device.ParamsFor(tech)
+	rep, err := reliability.Assess(res.Program, params)
+	if err != nil {
+		return MCResult{}, err
+	}
+
+	out := MCResult{Tech: tech, Workload: w, Runs: runs, AnalyticalPApp: rep.PApp}
+	rng := rand.New(rand.NewSource(seed))
+	target := res.Layout.Target()
+	names := g.InputNames()
+	for run := 0; run < runs; run++ {
+		inputs := make(map[string]bool, len(names))
+		for _, n := range names {
+			inputs[n] = rng.Intn(2) == 1
+		}
+		golden, err := dfg.EvaluateByName(g, inputs)
+		if err != nil {
+			return MCResult{}, err
+		}
+		m := sim.NewMachine(target)
+		m.EnableFaultInjection(params, rng.Int63())
+		if err := m.Run(res.Program, inputs); err != nil {
+			return MCResult{}, err
+		}
+		if m.FaultCount() > 0 {
+			out.ObservedFaultRate++
+			out.FaultsInjected += m.FaultCount()
+		}
+		for _, o := range g.Outputs() {
+			p, err := res.OutputPlace(o)
+			if err != nil {
+				return MCResult{}, err
+			}
+			v, err := m.ReadOut(p)
+			if err != nil {
+				return MCResult{}, err
+			}
+			if v != golden[g.OutputName(o)] {
+				out.ObservedErrorRate++
+				break
+			}
+		}
+	}
+	out.ObservedFaultRate /= float64(runs)
+	out.ObservedErrorRate /= float64(runs)
+	return out, nil
+}
+
+// RenderMC prints the validation rows.
+func RenderMC(rows []MCResult) string {
+	var sb strings.Builder
+	sb.WriteString("Monte-Carlo validation of the analytical P_app model\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-11s %6s %12s %12s %12s %9s\n",
+		"Tech", "Benchmark", "Runs", "P_app", "P(fault)", "P(error)", "masking"))
+	for _, m := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %-11s %6d %12.3e %12.3e %12.3e %8.1f%%\n",
+			m.Tech, m.Workload, m.Runs, m.AnalyticalPApp,
+			m.ObservedFaultRate, m.ObservedErrorRate, 100*m.MaskingFactor()))
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sherlock/internal/device"
+)
+
+// Table2Row is one cell group of the paper's Table 2: a (technology,
+// workload, array size, mapper, MRA) configuration with its measured
+// latency and energy.
+type Table2Row struct {
+	Tech      device.Technology
+	Workload  Workload
+	ArraySize int
+	Optimized bool
+	MultiRow  bool // false = MRA exactly 2, true = MRA >= 2 (fused DAG)
+
+	LatencyUS    float64
+	EnergyUJ     float64
+	Instructions int
+	Copies       int
+	ColumnsUsed  int
+}
+
+// Table2 regenerates the full grid.
+func Table2(r *Runner) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, tech := range r.Setup().Techs {
+		for _, w := range Workloads() {
+			for _, size := range r.Setup().ArraySizes {
+				for _, optimized := range []bool{false, true} {
+					for _, multiRow := range []bool{false, true} {
+						frac := 0.0
+						if multiRow {
+							frac = 1.0
+						}
+						res, err := r.Map(w, frac, false, size, !optimized)
+						if err != nil {
+							return nil, err
+						}
+						cost, err := Cost(res, tech, size)
+						if err != nil {
+							return nil, err
+						}
+						rows = append(rows, Table2Row{
+							Tech:         tech,
+							Workload:     w,
+							ArraySize:    size,
+							Optimized:    optimized,
+							MultiRow:     multiRow,
+							LatencyUS:    cost.LatencyUS(),
+							EnergyUJ:     cost.EnergyUJ(),
+							Instructions: res.Stats.Instructions,
+							Copies:       res.Stats.Copies,
+							ColumnsUsed:  res.Stats.ColumnsUsed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the grid in the layout of the paper's Table 2.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: latency and energy across memory sizes and optimizations\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-11s %-6s %-7s %-6s %14s %14s %10s\n",
+		"Tech", "Benchmark", "Array", "Mapper", "MRA", "Latency(us)", "Energy(uJ)", "Instr"))
+	for _, row := range rows {
+		mapper := "naive"
+		if row.Optimized {
+			mapper = "opt"
+		}
+		mra := "2"
+		if row.MultiRow {
+			mra = ">=2"
+		}
+		sb.WriteString(fmt.Sprintf("%-10s %-11s %-6d %-7s %-6s %14.3f %14.3f %10d\n",
+			row.Tech, row.Workload, row.ArraySize, mapper, mra,
+			row.LatencyUS, row.EnergyUJ, row.Instructions))
+	}
+	return sb.String()
+}
+
+// Table2Summary computes the headline ratios the paper reports: the
+// optimized mapper's latency and energy gains over naive, and the MRA >= 2
+// latency gain for the naive mapper.
+type Table2Summary struct {
+	// GeomeanLatencyGain and GeomeanEnergyGain of opt over naive across
+	// all (tech, workload, size, MRA) cells.
+	GeomeanLatencyGain float64
+	GeomeanEnergyGain  float64
+	// NaiveMRALatencyGain: naive MRA>=2 vs naive MRA=2 (paper: ~1.28x).
+	NaiveMRALatencyGain float64
+}
+
+// Summarize reduces the rows to the headline ratios.
+func Summarize(rows []Table2Row) Table2Summary {
+	type cfg struct {
+		tech      device.Technology
+		w         Workload
+		size      int
+		multi     bool
+		optimized bool
+	}
+	byCfg := make(map[cfg]Table2Row)
+	for _, r := range rows {
+		byCfg[cfg{r.Tech, r.Workload, r.ArraySize, r.MultiRow, r.Optimized}] = r
+	}
+	var s Table2Summary
+	latProd, enProd, n := 1.0, 1.0, 0
+	mraProd, m := 1.0, 0
+	for key, naive := range byCfg {
+		if key.optimized {
+			continue
+		}
+		optKey := key
+		optKey.optimized = true
+		opt, ok := byCfg[optKey]
+		if !ok {
+			continue
+		}
+		latProd *= naive.LatencyUS / opt.LatencyUS
+		enProd *= naive.EnergyUJ / opt.EnergyUJ
+		n++
+		if key.multi {
+			baseKey := key
+			baseKey.multi = false
+			if base, ok := byCfg[baseKey]; ok {
+				mraProd *= base.LatencyUS / naive.LatencyUS
+				m++
+			}
+		}
+	}
+	if n > 0 {
+		s.GeomeanLatencyGain = math.Pow(latProd, 1/float64(n))
+		s.GeomeanEnergyGain = math.Pow(enProd, 1/float64(n))
+	}
+	if m > 0 {
+		s.NaiveMRALatencyGain = math.Pow(mraProd, 1/float64(m))
+	}
+	return s
+}

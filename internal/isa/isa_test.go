@@ -1,0 +1,169 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"sherlock/internal/logic"
+)
+
+func mustParse(t *testing.T, line string) Instruction {
+	t.Helper()
+	in, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	return in
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	// The exact snippets of Fig. 4 (including the stray space).
+	w := mustParse(t, "write [0][4,8,12,16][932]")
+	if w.Kind != KindWrite || w.Rows[0] != 932 || len(w.Cols) != 4 {
+		t.Errorf("write parsed wrong: %+v", w)
+	}
+	r := mustParse(t, "Read [0][1,5,9, 13][5]")
+	if r.Kind != KindRead || r.IsCIMRead() || r.Cols[3] != 13 {
+		t.Errorf("plain read parsed wrong: %+v", r)
+	}
+	s := mustParse(t, "Shift [0] R[3]")
+	if s.Kind != KindShift || !s.Right || s.ShiftBy != 3 {
+		t.Errorf("shift parsed wrong: %+v", s)
+	}
+	c := mustParse(t, "Read [0][4,8,12,16][933,934] [XOR,AND,OR,XOR]")
+	if !c.IsCIMRead() || len(c.Ops) != 4 || c.Ops[1] != logic.And {
+		t.Errorf("CIM read parsed wrong: %+v", c)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Kind: KindWrite, Array: 2, Cols: []int{1, 3}, Rows: []int{10}},
+		{Kind: KindWrite, Array: 0, Cols: []int{0, 7}, Rows: []int{4}, Bindings: []string{"x0", "x1"}},
+		{Kind: KindWrite, Array: 1, Cols: []int{2}, Rows: []int{6}, HasSrcArray: true, SrcArray: 0},
+		{Kind: KindRead, Array: 1, Cols: []int{5}, Rows: []int{9}},
+		{Kind: KindRead, Array: 0, Cols: []int{2, 4}, Rows: []int{7, 8, 9}, Ops: []logic.Op{logic.Nand, logic.Xor}},
+		{Kind: KindShift, Array: 0, Right: false, ShiftBy: 12},
+		{Kind: KindNot, Array: 3, Cols: []int{0, 1, 2}},
+	}
+	for _, in := range cases {
+		if err := in.Validate(); err != nil {
+			t.Fatalf("case %v invalid: %v", in, err)
+		}
+		got, err := Parse(in.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in.String(), err)
+		}
+		if got.String() != in.String() {
+			t.Errorf("round trip: %q -> %q", in.String(), got.String())
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Instruction{
+		{Kind: KindRead}, // no cols/rows
+		{Kind: KindRead, Cols: []int{1}, Rows: []int{1, 2}},                                           // CIM read without ops
+		{Kind: KindRead, Cols: []int{1}, Rows: []int{3}, Ops: []logic.Op{logic.And}},                  // plain read with ops
+		{Kind: KindRead, Cols: []int{1, 2}, Rows: []int{1, 2}, Ops: []logic.Op{logic.Not, logic.And}}, // NOT is not a sense op
+		{Kind: KindRead, Cols: []int{2, 1}, Rows: []int{1}},                                           // unsorted cols
+		{Kind: KindRead, Cols: []int{1, 1}, Rows: []int{1}},                                           // duplicate cols
+		{Kind: KindWrite, Cols: []int{1}, Rows: []int{1, 2}},                                          // two rows
+		{Kind: KindWrite, Cols: []int{1, 2}, Rows: []int{1}, Bindings: []string{"x"}},                 // binding count
+		{Kind: KindShift, ShiftBy: 0},                                                                 // zero distance
+		{Kind: KindShift, ShiftBy: 2, Cols: []int{1}},                                                 // shift with cols
+		{Kind: KindNot}, // no cols
+		{Kind: KindNot, Cols: []int{1}, Rows: []int{1}},                                              // not with rows
+		{Kind: KindRead, Array: -1, Cols: []int{1}, Rows: []int{1}},                                  // negative array
+		{Kind: KindWrite, Array: 1, Cols: []int{1}, Rows: []int{1}, HasSrcArray: true, SrcArray: 1},  // own array
+		{Kind: KindWrite, Array: 1, Cols: []int{1}, Rows: []int{1}, HasSrcArray: true, SrcArray: -1}, // negative src
+		{Kind: KindWrite, Array: 1, Cols: []int{1}, Rows: []int{1}, HasSrcArray: true, SrcArray: 0,
+			Bindings: []string{"x"}}, // bus write cannot bind
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, in)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"Frob [0][1][2]",
+		"Read [0][1]",
+		"Read [0][1][2",
+		"Read [0][a][2]",
+		"Shift [0] X[3]",
+		"Read [0][1][2] junk",
+	} {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) succeeded", line)
+		}
+	}
+}
+
+func TestProgramRoundTripAndStats(t *testing.T) {
+	text := `
+# load inputs
+Write [0][0,1][0] <a,b>
+Write [0][0][1] <c>
+Read [0][0,1][0,1] [AND,OR]
+Write [0][0][2]
+Read [0][0][2]
+Not [0][0]
+Shift [0] R[1]
+Write [0][1][3]
+`
+	p, err := ParseProgram(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseProgram(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p2.String() != p.String() {
+		t.Error("program round trip mismatch")
+	}
+
+	st := p.ComputeStats()
+	if st.Total != 8 || st.HostWrites != 2 || st.Writes != 2 || st.CIMReads != 1 ||
+		st.Reads != 1 || st.Shifts != 1 || st.Nots != 1 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.SenseEvents[SenseClass{Op: logic.And, Rows: 2}] != 1 {
+		t.Errorf("sense events wrong: %v", st.SenseEvents)
+	}
+	if st.MaxRows != 2 {
+		t.Errorf("max rows = %d, want 2", st.MaxRows)
+	}
+}
+
+func TestSenseClassesStableOrder(t *testing.T) {
+	p := Program{
+		{Kind: KindRead, Cols: []int{0, 1}, Rows: []int{0, 1, 2}, Ops: []logic.Op{logic.Xor, logic.And}},
+		{Kind: KindRead, Cols: []int{0}, Rows: []int{0, 1}, Ops: []logic.Op{logic.And}},
+	}
+	st := p.ComputeStats()
+	classes := st.SenseClasses()
+	if len(classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(classes))
+	}
+	for i := 1; i < len(classes); i++ {
+		a, b := classes[i-1], classes[i]
+		if a.Op > b.Op || (a.Op == b.Op && a.Rows >= b.Rows) {
+			t.Fatalf("classes unsorted: %v", classes)
+		}
+	}
+}
+
+func TestParseProgramReportsLine(t *testing.T) {
+	_, err := ParseProgram("Read [0][0][0]\nBogus [1]")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %v should name line 2", err)
+	}
+}

@@ -1,0 +1,83 @@
+package isa
+
+// Resource-level dependence metadata: which cells and row-buffer bits an
+// instruction reads and writes. The instruction merger and the parallel
+// timing model both build their hazard analysis on these sets.
+
+// ResKind distinguishes the two storage resources.
+type ResKind uint8
+
+// Resource kinds.
+const (
+	ResCell ResKind = iota // a memory cell (array, col, row)
+	ResBuf                 // a row-buffer bit (array, col)
+)
+
+// Resource identifies one cell or row-buffer bit.
+type Resource struct {
+	Kind  ResKind
+	Array int
+	Col   int
+	Row   int // cells only
+}
+
+// CellRes builds a cell resource.
+func CellRes(array, col, row int) Resource {
+	return Resource{Kind: ResCell, Array: array, Col: col, Row: row}
+}
+
+// BufRes builds a row-buffer bit resource.
+func BufRes(array, col int) Resource {
+	return Resource{Kind: ResBuf, Array: array, Col: col}
+}
+
+// Accesses returns the resources the instruction reads and writes. Shifts
+// conservatively touch every row-buffer bit of their array up to bufCols
+// columns (the widest column index in use plus one).
+func (in Instruction) Accesses(bufCols int) (reads, writes []Resource) {
+	switch in.Kind {
+	case KindRead:
+		for _, c := range in.Cols {
+			for _, r := range in.Rows {
+				reads = append(reads, CellRes(in.Array, c, r))
+			}
+			writes = append(writes, BufRes(in.Array, c))
+		}
+	case KindWrite:
+		src := in.Array
+		if in.HasSrcArray {
+			src = in.SrcArray
+		}
+		for _, c := range in.Cols {
+			if !in.IsHostWrite() {
+				reads = append(reads, BufRes(src, c))
+			}
+			writes = append(writes, CellRes(in.Array, c, in.Rows[0]))
+		}
+	case KindShift:
+		for c := 0; c < bufCols; c++ {
+			reads = append(reads, BufRes(in.Array, c))
+			writes = append(writes, BufRes(in.Array, c))
+		}
+	case KindNot:
+		for _, c := range in.Cols {
+			reads = append(reads, BufRes(in.Array, c))
+			writes = append(writes, BufRes(in.Array, c))
+		}
+	}
+	return reads, writes
+}
+
+// MaxCol returns the widest column index used by the program plus one (the
+// bufCols bound for Accesses).
+func (p Program) MaxCol() int {
+	max := 0
+	for _, in := range p {
+		for _, c := range in.Cols {
+			if c+1 > max {
+				max = c + 1
+			}
+		}
+	}
+	return max
+}

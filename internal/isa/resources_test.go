@@ -1,0 +1,97 @@
+package isa
+
+import (
+	"testing"
+
+	"sherlock/internal/logic"
+)
+
+func hasRes(rs []Resource, want Resource) bool {
+	for _, r := range rs {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAccessesCIMRead(t *testing.T) {
+	in := Instruction{Kind: KindRead, Array: 1, Cols: []int{2, 5}, Rows: []int{3, 7},
+		Ops: []logic.Op{logic.And, logic.Xor}}
+	reads, writes := in.Accesses(8)
+	if len(reads) != 4 {
+		t.Fatalf("reads = %d, want 4 (2 cols x 2 rows)", len(reads))
+	}
+	for _, c := range []int{2, 5} {
+		for _, r := range []int{3, 7} {
+			if !hasRes(reads, CellRes(1, c, r)) {
+				t.Errorf("missing cell read (%d,%d)", c, r)
+			}
+		}
+		if !hasRes(writes, BufRes(1, c)) {
+			t.Errorf("missing buffer write col %d", c)
+		}
+	}
+	if len(writes) != 2 {
+		t.Errorf("writes = %d, want 2", len(writes))
+	}
+}
+
+func TestAccessesWriteVariants(t *testing.T) {
+	// Local write-back reads its own buffer.
+	wb := Instruction{Kind: KindWrite, Array: 0, Cols: []int{4}, Rows: []int{9}}
+	r, w := wb.Accesses(8)
+	if !hasRes(r, BufRes(0, 4)) || !hasRes(w, CellRes(0, 4, 9)) {
+		t.Error("write-back access sets wrong")
+	}
+	// Host write reads nothing.
+	hw := Instruction{Kind: KindWrite, Array: 0, Cols: []int{4}, Rows: []int{9}, Bindings: []string{"x"}}
+	r, w = hw.Accesses(8)
+	if len(r) != 0 || !hasRes(w, CellRes(0, 4, 9)) {
+		t.Error("host write access sets wrong")
+	}
+	// Cross-array write reads the source array's buffer.
+	xw := Instruction{Kind: KindWrite, Array: 2, Cols: []int{4}, Rows: []int{9}, HasSrcArray: true, SrcArray: 0}
+	r, w = xw.Accesses(8)
+	if !hasRes(r, BufRes(0, 4)) || !hasRes(w, CellRes(2, 4, 9)) {
+		t.Error("cross-array write access sets wrong")
+	}
+}
+
+func TestAccessesShiftTouchesWholeBuffer(t *testing.T) {
+	sh := Instruction{Kind: KindShift, Array: 1, Right: true, ShiftBy: 2}
+	r, w := sh.Accesses(5)
+	if len(r) != 5 || len(w) != 5 {
+		t.Fatalf("shift touches %d/%d bits, want 5/5", len(r), len(w))
+	}
+	for c := 0; c < 5; c++ {
+		if !hasRes(r, BufRes(1, c)) || !hasRes(w, BufRes(1, c)) {
+			t.Errorf("shift misses buffer col %d", c)
+		}
+	}
+}
+
+func TestAccessesNot(t *testing.T) {
+	n := Instruction{Kind: KindNot, Array: 0, Cols: []int{1, 3}}
+	r, w := n.Accesses(8)
+	if len(r) != 2 || len(w) != 2 {
+		t.Fatal("NOT should read and write exactly its columns")
+	}
+	if !hasRes(r, BufRes(0, 3)) || !hasRes(w, BufRes(0, 1)) {
+		t.Error("NOT access sets wrong")
+	}
+}
+
+func TestMaxCol(t *testing.T) {
+	p := Program{
+		{Kind: KindRead, Cols: []int{0}, Rows: []int{0}},
+		{Kind: KindWrite, Cols: []int{17}, Rows: []int{0}},
+		{Kind: KindShift, ShiftBy: 3},
+	}
+	if got := p.MaxCol(); got != 18 {
+		t.Errorf("MaxCol = %d, want 18", got)
+	}
+	if got := (Program{}).MaxCol(); got != 0 {
+		t.Errorf("empty MaxCol = %d", got)
+	}
+}

@@ -1,0 +1,234 @@
+// Package layout tracks where DFG operands live in the CIM array(s): the
+// memory layout the mapping algorithms produce alongside the instruction
+// stream. One operand can occupy several cells (the naive mapper duplicates
+// data to co-locate an op's inputs in one column); the first placement is
+// the operand's canonical home.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"sherlock/internal/dfg"
+)
+
+// Target describes the addressable CIM fabric the mapper may use.
+type Target struct {
+	Arrays int // number of independent arrays (each with its own row buffer)
+	Rows   int // rows per array (m)
+	Cols   int // columns per array (n)
+}
+
+// Validate rejects degenerate targets.
+func (t Target) Validate() error {
+	if t.Arrays < 1 || t.Rows < 2 || t.Cols < 1 {
+		return fmt.Errorf("layout: invalid target %+v", t)
+	}
+	return nil
+}
+
+// Cells returns the total cell capacity.
+func (t Target) Cells() int { return t.Arrays * t.Rows * t.Cols }
+
+// Place is one cell coordinate.
+type Place struct {
+	Array, Col, Row int
+}
+
+func (p Place) String() string {
+	return fmt.Sprintf("[%d][%d][%d]", p.Array, p.Col, p.Row)
+}
+
+// ColumnRef addresses a column within an array.
+type ColumnRef struct {
+	Array, Col int
+}
+
+// Layout is the operand-to-cell assignment. The zero value is unusable;
+// construct with New.
+type Layout struct {
+	target   Target
+	places   map[dfg.NodeID][]Place // operand -> cells holding it (first = home)
+	occupant map[Place]dfg.NodeID
+	fill     map[ColumnRef]int   // bump allocator: next free row per column
+	freed    map[ColumnRef][]int // recycled rows available below the bump point
+	recycled int
+
+	// WearLeveling switches the recycled-row pool from LIFO (reuse the
+	// most recently freed row, which concentrates writes on few cells) to
+	// FIFO (rotate through freed rows, spreading programming cycles —
+	// implicit wear leveling for endurance-limited technologies).
+	WearLeveling bool
+}
+
+// New returns an empty layout over the target.
+func New(t Target) *Layout {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return &Layout{
+		target:   t,
+		places:   make(map[dfg.NodeID][]Place),
+		occupant: make(map[Place]dfg.NodeID),
+		fill:     make(map[ColumnRef]int),
+		freed:    make(map[ColumnRef][]int),
+	}
+}
+
+// Target returns the fabric description.
+func (l *Layout) Target() Target { return l.target }
+
+// Alloc places the operand at the next free row of the given column
+// (preferring recycled rows) and returns the cell. It fails when the
+// column is full.
+func (l *Layout) Alloc(node dfg.NodeID, c ColumnRef) (Place, error) {
+	if err := l.checkColumn(c); err != nil {
+		return Place{}, err
+	}
+	row, ok := l.pickRow(c)
+	if !ok {
+		return Place{}, fmt.Errorf("layout: column %v full (%d rows)", c, l.target.Rows)
+	}
+	p := Place{Array: c.Array, Col: c.Col, Row: row}
+	l.places[node] = append(l.places[node], p)
+	l.occupant[p] = node
+	return p, nil
+}
+
+// pickRow chooses the next row of the column. Default policy: reuse the
+// most recently freed row first (maximizes locality and keeps the bump
+// pointer low). With WearLeveling: exhaust fresh rows first, then rotate
+// through freed rows FIFO, so programming cycles spread over every row of
+// the column before any row is written twice.
+func (l *Layout) pickRow(c ColumnRef) (int, bool) {
+	free := l.freed[c]
+	if l.WearLeveling {
+		if l.fill[c] < l.target.Rows {
+			row := l.fill[c]
+			l.fill[c] = row + 1
+			return row, true
+		}
+		if len(free) > 0 {
+			row := free[0]
+			l.freed[c] = free[1:]
+			l.recycled++
+			return row, true
+		}
+		return 0, false
+	}
+	if len(free) > 0 {
+		row := free[len(free)-1]
+		l.freed[c] = free[:len(free)-1]
+		l.recycled++
+		return row, true
+	}
+	if l.fill[c] < l.target.Rows {
+		row := l.fill[c]
+		l.fill[c] = row + 1
+		return row, true
+	}
+	return 0, false
+}
+
+// Release frees every cell held by the operand, making the rows available
+// for reuse within their columns (liveness-driven row recycling). Calling
+// it for an unplaced operand is a no-op.
+func (l *Layout) Release(node dfg.NodeID) {
+	for _, p := range l.places[node] {
+		delete(l.occupant, p)
+		c := ColumnRef{Array: p.Array, Col: p.Col}
+		l.freed[c] = append(l.freed[c], p.Row)
+	}
+	delete(l.places, node)
+}
+
+// RecycledAllocs reports how many allocations were served from released
+// rows.
+func (l *Layout) RecycledAllocs() int { return l.recycled }
+
+func (l *Layout) checkColumn(c ColumnRef) error {
+	if c.Array < 0 || c.Array >= l.target.Arrays || c.Col < 0 || c.Col >= l.target.Cols {
+		return fmt.Errorf("layout: column %v outside target %+v", c, l.target)
+	}
+	return nil
+}
+
+// FreeRows reports how many rows remain unallocated in the column,
+// including released rows awaiting reuse.
+func (l *Layout) FreeRows(c ColumnRef) int {
+	if err := l.checkColumn(c); err != nil {
+		return 0
+	}
+	return l.target.Rows - l.fill[c] + len(l.freed[c])
+}
+
+// Home returns the operand's canonical (first) cell.
+func (l *Layout) Home(node dfg.NodeID) (Place, bool) {
+	ps := l.places[node]
+	if len(ps) == 0 {
+		return Place{}, false
+	}
+	return ps[0], true
+}
+
+// Places returns every cell holding the operand (a copy).
+func (l *Layout) Places(node dfg.NodeID) []Place {
+	return append([]Place(nil), l.places[node]...)
+}
+
+// InColumn returns the operand's cell within the given column, if any.
+func (l *Layout) InColumn(node dfg.NodeID, c ColumnRef) (Place, bool) {
+	for _, p := range l.places[node] {
+		if p.Array == c.Array && p.Col == c.Col {
+			return p, true
+		}
+	}
+	return Place{}, false
+}
+
+// OccupantAt returns the operand stored at the cell, if any.
+func (l *Layout) OccupantAt(p Place) (dfg.NodeID, bool) {
+	n, ok := l.occupant[p]
+	return n, ok
+}
+
+// IsPlaced reports whether the operand has at least one cell.
+func (l *Layout) IsPlaced(node dfg.NodeID) bool { return len(l.places[node]) > 0 }
+
+// CellsUsed returns the number of occupied cells.
+func (l *Layout) CellsUsed() int { return len(l.occupant) }
+
+// OperandsPlaced returns the number of distinct operands with a home.
+func (l *Layout) OperandsPlaced() int { return len(l.places) }
+
+// DuplicateCells returns how many cells hold redundant copies (total cells
+// minus distinct operands) — the data-duplication overhead of a mapping.
+func (l *Layout) DuplicateCells() int { return len(l.occupant) - len(l.places) }
+
+// ColumnsUsed returns the columns with at least one allocation, sorted by
+// (array, col).
+func (l *Layout) ColumnsUsed() []ColumnRef {
+	out := make([]ColumnRef, 0, len(l.fill))
+	for c, n := range l.fill {
+		if n > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Array != out[j].Array {
+			return out[i].Array < out[j].Array
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// Utilization returns occupied cells over the capacity of the columns in
+// use (1.0 = perfectly packed columns).
+func (l *Layout) Utilization() float64 {
+	used := l.ColumnsUsed()
+	if len(used) == 0 {
+		return 0
+	}
+	return float64(len(l.occupant)) / float64(len(used)*l.target.Rows)
+}

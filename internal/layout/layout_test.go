@@ -1,0 +1,178 @@
+package layout
+
+import (
+	"testing"
+
+	"sherlock/internal/dfg"
+)
+
+func target() Target { return Target{Arrays: 2, Rows: 4, Cols: 3} }
+
+func TestTargetValidate(t *testing.T) {
+	if err := target().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Target{{0, 4, 4}, {1, 1, 4}, {1, 4, 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+	if got := target().Cells(); got != 24 {
+		t.Errorf("Cells = %d, want 24", got)
+	}
+}
+
+func TestAllocSequentialRows(t *testing.T) {
+	l := New(target())
+	c := ColumnRef{Array: 0, Col: 1}
+	for i := 0; i < 4; i++ {
+		p, err := l.Alloc(dfg.NodeID(i), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Row != i || p.Col != 1 || p.Array != 0 {
+			t.Errorf("alloc %d at %v", i, p)
+		}
+	}
+	if _, err := l.Alloc(dfg.NodeID(9), c); err == nil {
+		t.Error("overfull column accepted")
+	}
+	if l.FreeRows(c) != 0 {
+		t.Errorf("FreeRows = %d, want 0", l.FreeRows(c))
+	}
+}
+
+func TestAllocRejectsBadColumn(t *testing.T) {
+	l := New(target())
+	for _, c := range []ColumnRef{{Array: 2, Col: 0}, {Array: 0, Col: 3}, {Array: -1, Col: 0}} {
+		if _, err := l.Alloc(1, c); err == nil {
+			t.Errorf("accepted column %v", c)
+		}
+		if l.FreeRows(c) != 0 {
+			t.Errorf("FreeRows(%v) nonzero for invalid column", c)
+		}
+	}
+}
+
+func TestHomeAndDuplicates(t *testing.T) {
+	l := New(target())
+	n := dfg.NodeID(7)
+	p1, _ := l.Alloc(n, ColumnRef{0, 0})
+	p2, _ := l.Alloc(n, ColumnRef{0, 2})
+	home, ok := l.Home(n)
+	if !ok || home != p1 {
+		t.Errorf("home = %v, want %v", home, p1)
+	}
+	if got := len(l.Places(n)); got != 2 {
+		t.Errorf("places = %d, want 2", got)
+	}
+	if got, ok := l.InColumn(n, ColumnRef{0, 2}); !ok || got != p2 {
+		t.Errorf("InColumn = %v %v", got, ok)
+	}
+	if _, ok := l.InColumn(n, ColumnRef{1, 0}); ok {
+		t.Error("InColumn found ghost placement")
+	}
+	if l.DuplicateCells() != 1 {
+		t.Errorf("DuplicateCells = %d, want 1", l.DuplicateCells())
+	}
+	if who, ok := l.OccupantAt(p2); !ok || who != n {
+		t.Errorf("OccupantAt = %v %v", who, ok)
+	}
+}
+
+func TestColumnsUsedSortedAndUtilization(t *testing.T) {
+	l := New(target())
+	l.Alloc(1, ColumnRef{1, 2})
+	l.Alloc(2, ColumnRef{0, 1})
+	l.Alloc(3, ColumnRef{0, 1})
+	cols := l.ColumnsUsed()
+	if len(cols) != 2 || cols[0] != (ColumnRef{0, 1}) || cols[1] != (ColumnRef{1, 2}) {
+		t.Errorf("ColumnsUsed = %v", cols)
+	}
+	// 3 cells over 2 columns x 4 rows.
+	if got := l.Utilization(); got != 3.0/8.0 {
+		t.Errorf("Utilization = %g, want 0.375", got)
+	}
+	if !l.IsPlaced(1) || l.IsPlaced(99) {
+		t.Error("IsPlaced wrong")
+	}
+	if l.OperandsPlaced() != 3 || l.CellsUsed() != 3 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestEmptyLayoutQueries(t *testing.T) {
+	l := New(target())
+	if _, ok := l.Home(5); ok {
+		t.Error("Home on empty layout")
+	}
+	if l.Utilization() != 0 {
+		t.Error("Utilization on empty layout should be 0")
+	}
+	if len(l.ColumnsUsed()) != 0 {
+		t.Error("ColumnsUsed on empty layout")
+	}
+}
+
+func TestReleaseAndRecycle(t *testing.T) {
+	l := New(target())
+	c := ColumnRef{Array: 0, Col: 0}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Alloc(dfg.NodeID(i), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.FreeRows(c) != 0 {
+		t.Fatal("column should be full")
+	}
+	l.Release(2)
+	if l.FreeRows(c) != 1 {
+		t.Fatalf("FreeRows = %d after release, want 1", l.FreeRows(c))
+	}
+	p, err := l.Alloc(9, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Row != 2 {
+		t.Errorf("recycled row = %d, want 2", p.Row)
+	}
+	if l.RecycledAllocs() != 1 {
+		t.Errorf("RecycledAllocs = %d, want 1", l.RecycledAllocs())
+	}
+	if _, ok := l.Home(2); ok {
+		t.Error("released operand still has a home")
+	}
+	if who, _ := l.OccupantAt(p); who != 9 {
+		t.Error("occupant not updated after recycling")
+	}
+}
+
+func TestWearLevelingPolicy(t *testing.T) {
+	// LIFO (default): freed rows are reused immediately.
+	l := New(target())
+	c := ColumnRef{Array: 0, Col: 0}
+	l.Alloc(1, c)
+	l.Release(1)
+	p, _ := l.Alloc(2, c)
+	if p.Row != 0 {
+		t.Errorf("default policy should reuse row 0, got %d", p.Row)
+	}
+
+	// Wear leveling: fresh rows first, freed rows FIFO afterwards.
+	lw := New(target())
+	lw.WearLeveling = true
+	lw.Alloc(1, c) // row 0
+	lw.Release(1)
+	p1, _ := lw.Alloc(2, c) // must take fresh row 1, not recycled row 0
+	if p1.Row != 1 {
+		t.Fatalf("wear leveling should prefer fresh rows, got %d", p1.Row)
+	}
+	lw.Alloc(3, c) // row 2
+	lw.Alloc(4, c) // row 3 — bump exhausted
+	lw.Release(2)  // frees row 1 (after row 0 already in pool)
+	pa, _ := lw.Alloc(5, c)
+	pb, _ := lw.Alloc(6, c)
+	if pa.Row != 0 || pb.Row != 1 {
+		t.Errorf("FIFO rotation wrong: got rows %d,%d want 0,1", pa.Row, pb.Row)
+	}
+}

@@ -1,0 +1,158 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, op := range []Op{And, Or, Xor, Nand, Nor, Xnor, Not, Copy} {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%v): %v", op, err)
+		}
+		if got != op {
+			t.Errorf("round trip %v -> %v", op, got)
+		}
+	}
+	if _, err := ParseOp("FROB"); err == nil {
+		t.Error("ParseOp accepted unknown mnemonic")
+	}
+	if Invalid.Valid() {
+		t.Error("Invalid reported Valid")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b bool
+		want bool
+	}{
+		{And, true, true, true}, {And, true, false, false},
+		{Or, false, false, false}, {Or, true, false, true},
+		{Xor, true, true, false}, {Xor, true, false, true},
+		{Nand, true, true, false}, {Nand, false, false, true},
+		{Nor, false, false, true}, {Nor, true, false, false},
+		{Xnor, true, true, true}, {Xnor, true, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if Not.Eval(true) || !Not.Eval(false) {
+		t.Error("NOT truth table wrong")
+	}
+	if !Copy.Eval(true) || Copy.Eval(false) {
+		t.Error("COPY truth table wrong")
+	}
+}
+
+func TestEvalMultiOperand(t *testing.T) {
+	if And.Eval(true, true, true, false) {
+		t.Error("AND4 with a zero returned true")
+	}
+	if !Or.Eval(false, false, true, false) {
+		t.Error("OR4 with a one returned false")
+	}
+	if !Xor.Eval(true, true, true) {
+		t.Error("XOR3 parity of three ones should be true")
+	}
+	if Xor.Eval(true, true, true, true) {
+		t.Error("XOR4 parity of four ones should be false")
+	}
+}
+
+func TestEvalArityPanics(t *testing.T) {
+	for _, c := range []struct {
+		op   Op
+		bits []bool
+	}{
+		{Not, []bool{true, false}},
+		{Copy, nil},
+		{And, []bool{true}},
+		{Invalid, []bool{true, false}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v.Eval(%v) did not panic", c.op, c.bits)
+				}
+			}()
+			c.op.Eval(c.bits...)
+		}()
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for _, op := range []Op{And, Or, Xor, Nand, Nor, Xnor, Not, Copy} {
+		inv, ok := op.Inverse()
+		if !ok {
+			t.Fatalf("%v has no inverse", op)
+		}
+		back, ok := inv.Inverse()
+		if !ok || back != op {
+			t.Errorf("inverse of inverse of %v = %v", op, back)
+		}
+	}
+	if _, ok := Invalid.Inverse(); ok {
+		t.Error("Invalid has an inverse")
+	}
+}
+
+// Property: an op and its inverse always disagree.
+func TestQuickInversePairsDisagree(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		for _, op := range []Op{And, Or, Xor} {
+			inv, _ := op.Inverse()
+			if op.Eval(a, b, c) == inv.Eval(a, b, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: associative ops flatten correctly, the basis for the
+// node-substitution transform.
+func TestQuickAssociativeFlattening(t *testing.T) {
+	f := func(a, b, c, d bool) bool {
+		for _, op := range []Op{And, Or, Xor} {
+			if !op.Associative() {
+				return false
+			}
+			nested := op.Eval(op.Eval(a, b), c, d)
+			flat := op.Eval(a, b, c, d)
+			if nested != flat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSenseClassification(t *testing.T) {
+	for _, op := range SenseOps() {
+		if !op.IsSense() {
+			t.Errorf("%v should be a sense op", op)
+		}
+	}
+	for _, op := range []Op{Not, Copy} {
+		if op.IsSense() {
+			t.Errorf("%v should not be a sense op", op)
+		}
+		if !op.IsUnary() {
+			t.Errorf("%v should be unary", op)
+		}
+	}
+	if Nand.Associative() {
+		t.Error("NAND must not be flattenable")
+	}
+}

@@ -1,0 +1,337 @@
+package mapping
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"sherlock/internal/dfg"
+)
+
+// cluster is a group of op nodes destined for one CIM column. Its footprint
+// is the set of operand cells the column must hold: every input consumed by
+// the cluster's ops (locally produced or copied in) plus every output.
+type cluster struct {
+	id        int
+	ops       []dfg.NodeID
+	footprint map[dfg.NodeID]struct{}
+}
+
+func (c *cluster) footprintWith(extra []dfg.NodeID) int {
+	n := len(c.footprint)
+	for _, x := range extra {
+		if _, ok := c.footprint[x]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *cluster) add(op dfg.NodeID, operands []dfg.NodeID) {
+	c.ops = append(c.ops, op)
+	for _, x := range operands {
+		c.footprint[x] = struct{}{}
+	}
+}
+
+// clusterer runs the FindClusters procedure of Algorithm 2.
+type clusterer struct {
+	g         *dfg.Graph
+	bl        map[dfg.NodeID]int
+	maxSize   int
+	opt       Options
+	clusters  map[int]*cluster
+	opCluster map[dfg.NodeID]int
+	nextID    int
+}
+
+// opFootprint returns the operand cells an op contributes: its inputs and
+// its output.
+func opFootprint(g *dfg.Graph, op dfg.NodeID) []dfg.NodeID {
+	return append(g.OpInputs(op), g.OpOutput(op))
+}
+
+// findClusters partitions the op nodes into clusters whose footprints fit a
+// column (C_maxSize), then greedily merges down toward k clusters. It
+// returns the clusters as ordered op lists; every op appears exactly once.
+func findClusters(g *dfg.Graph, opt Options, maxSize, k int) ([][]dfg.NodeID, error) {
+	c := &clusterer{
+		g:         g,
+		bl:        g.BLevels(),
+		maxSize:   maxSize,
+		opt:       opt,
+		clusters:  make(map[int]*cluster),
+		opCluster: make(map[dfg.NodeID]int),
+	}
+	for _, op := range g.OpsByPriority() {
+		if err := c.assign(op); err != nil {
+			return nil, err
+		}
+	}
+	c.mergeClusters(k)
+	return c.ordered(), nil
+}
+
+func (c *clusterer) newCluster(op dfg.NodeID) {
+	cl := &cluster{id: c.nextID, footprint: make(map[dfg.NodeID]struct{})}
+	c.nextID++
+	cl.add(op, opFootprint(c.g, op))
+	c.clusters[cl.id] = cl
+	c.opCluster[op] = cl.id
+}
+
+// assign places one op node following the case analysis of Sec. 3.3.1.
+// Because predecessors always have strictly higher b-levels, they are
+// already assigned when the node is visited.
+func (c *clusterer) assign(op dfg.NodeID) error {
+	fp := opFootprint(c.g, op)
+	if len(fp) > c.maxSize {
+		return fmt.Errorf("mapping: op %q needs %d cells, column holds %d", c.g.Name(op), len(fp), c.maxSize)
+	}
+	preds := c.g.OpPreds(op)
+	if len(preds) == 0 {
+		c.newCluster(op)
+		return nil
+	}
+
+	// Distinct predecessor clusters, in deterministic order.
+	seen := make(map[int]bool)
+	var pcs []*cluster
+	for _, p := range preds {
+		id := c.opCluster[p]
+		if !seen[id] {
+			seen[id] = true
+			pcs = append(pcs, c.clusters[id])
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i].id < pcs[j].id })
+
+	// Case 2 (generalized): when several predecessor clusters can merge
+	// into one column together with the node, do so — this removes the
+	// cross-cluster dependency entirely.
+	if len(pcs) > 1 {
+		if merged := c.tryMergeAll(pcs, fp); merged != nil {
+			merged.add(op, fp)
+			c.opCluster[op] = merged.id
+			return nil
+		}
+	}
+
+	// Cases 1, 3, 4, 5 collapse into the assignment score (Eq. 1): pick
+	// the predecessor cluster with the best score among those with room.
+	var best *cluster
+	bestScore := 0.0
+	for _, pc := range pcs {
+		if pc.footprintWith(fp) > c.maxSize {
+			continue
+		}
+		s := c.score(op, pc, preds)
+		if best == nil || s > bestScore {
+			best, bestScore = pc, s
+		}
+	}
+	if best == nil {
+		c.newCluster(op)
+		return nil
+	}
+	best.add(op, fp)
+	c.opCluster[op] = best.id
+	return nil
+}
+
+func (c *clusterer) tryMergeAll(pcs []*cluster, fp []dfg.NodeID) *cluster {
+	union := make(map[dfg.NodeID]struct{})
+	for _, pc := range pcs {
+		for x := range pc.footprint {
+			union[x] = struct{}{}
+		}
+	}
+	for _, x := range fp {
+		union[x] = struct{}{}
+	}
+	if len(union) > c.maxSize {
+		return nil
+	}
+	dst := pcs[0]
+	for _, src := range pcs[1:] {
+		c.absorb(dst, src)
+	}
+	return dst
+}
+
+// absorb merges src into dst and deletes src.
+func (c *clusterer) absorb(dst, src *cluster) {
+	for _, op := range src.ops {
+		c.opCluster[op] = dst.id
+	}
+	dst.ops = append(dst.ops, src.ops...)
+	for x := range src.footprint {
+		dst.footprint[x] = struct{}{}
+	}
+	delete(c.clusters, src.id)
+}
+
+// score implements Eq. 1. The default form follows the paper's prose:
+// affinity grows with the number of in-cluster predecessors and shrinks
+// with their priority distance, while larger clusters are penalized to
+// balance load (case 5). With PaperEq1 the literally printed formula
+// (β·|C| + α·Σρ) is used instead.
+func (c *clusterer) score(op dfg.NodeID, pc *cluster, preds []dfg.NodeID) float64 {
+	alpha, beta := c.opt.Alpha, c.opt.Beta
+	if c.opt.PaperEq1 {
+		sum := 0.0
+		for _, q := range preds {
+			if c.opCluster[q] == pc.id {
+				sum += float64(c.bl[q] - c.bl[op])
+			}
+		}
+		return beta*float64(len(pc.ops)) + alpha*sum
+	}
+	affinity := 0.0
+	for _, q := range preds {
+		if c.opCluster[q] == pc.id {
+			rho := float64(c.bl[q] - c.bl[op])
+			affinity += 1 / (1 + rho)
+		}
+	}
+	return alpha*affinity - beta*float64(len(pc.ops))/float64(c.maxSize)
+}
+
+// pairKey canonically orders a cluster pair.
+type pairKey struct{ a, b int }
+
+func makePair(a, b int) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+type pairItem struct {
+	key    pairKey
+	weight int
+}
+
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight > h[j].weight
+	}
+	if h[i].key.a != h[j].key.a {
+		return h[i].key.a < h[j].key.a
+	}
+	return h[i].key.b < h[j].key.b
+}
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)   { *h = append(*h, x.(pairItem)) }
+func (h *pairHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// mergeClusters greedily merges the most-dependent cluster pairs (data-flow
+// edges plus shared operands) until at most k clusters remain or nothing
+// more fits in a column.
+func (c *clusterer) mergeClusters(k int) {
+	if len(c.clusters) <= k {
+		return
+	}
+	// Pair weights from op-level data-flow edges and shared inputs.
+	weights := make(map[pairKey]int)
+	for _, op := range c.g.OpNodes() {
+		a := c.opCluster[op]
+		for _, s := range c.g.OpSuccs(op) {
+			if b := c.opCluster[s]; b != a {
+				weights[makePair(a, b)] += 2 // direct dependency
+			}
+		}
+	}
+	// Shared operands (two clusters reading the same value).
+	for _, operand := range c.g.Operands() {
+		consumers := c.g.Consumers(operand)
+		ids := make(map[int]bool)
+		for _, cons := range consumers {
+			ids[c.opCluster[cons]] = true
+		}
+		list := make([]int, 0, len(ids))
+		for id := range ids {
+			list = append(list, id)
+		}
+		sort.Ints(list)
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				weights[makePair(list[i], list[j])]++
+			}
+		}
+	}
+
+	// Adjacency view for O(degree) weight folding on merge.
+	adj := make(map[int]map[int]int, len(c.clusters))
+	addEdge := func(a, b, w int) {
+		if adj[a] == nil {
+			adj[a] = make(map[int]int)
+		}
+		adj[a][b] += w
+	}
+	h := make(pairHeap, 0, len(weights))
+	for key, w := range weights {
+		addEdge(key.a, key.b, w)
+		addEdge(key.b, key.a, w)
+		h = append(h, pairItem{key: key, weight: w})
+	}
+	heap.Init(&h)
+
+	for len(c.clusters) > k && h.Len() > 0 {
+		it := heap.Pop(&h).(pairItem)
+		a, b := it.key.a, it.key.b
+		ca, okA := c.clusters[a]
+		cb, okB := c.clusters[b]
+		if !okA || !okB {
+			continue // one side already merged away
+		}
+		if adj[a][b] != it.weight {
+			continue // stale weight; a fresher entry exists
+		}
+		if ca.footprintWith(keys(cb.footprint)) > c.maxSize {
+			// Footprints only grow; this pair can never merge. Drop it.
+			delete(adj[a], b)
+			delete(adj[b], a)
+			continue
+		}
+		// Merge b into a; fold b's adjacency into a's.
+		c.absorb(ca, cb)
+		delete(adj[a], b)
+		for o, w := range adj[b] {
+			if o == a {
+				continue
+			}
+			delete(adj[o], b)
+			addEdge(a, o, w)
+			addEdge(o, a, w)
+			heap.Push(&h, pairItem{key: makePair(a, o), weight: adj[a][o]})
+		}
+		delete(adj, b)
+	}
+}
+
+func keys(m map[dfg.NodeID]struct{}) []dfg.NodeID {
+	out := make([]dfg.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ordered returns the surviving clusters' op lists, clusters sorted by id
+// and ops within a cluster left in insertion (priority) order.
+func (c *clusterer) ordered() [][]dfg.NodeID {
+	ids := make([]int, 0, len(c.clusters))
+	for id := range c.clusters {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([][]dfg.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = c.clusters[id].ops
+	}
+	return out
+}

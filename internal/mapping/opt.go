@@ -1,0 +1,101 @@
+package mapping
+
+import (
+	"fmt"
+
+	"sherlock/internal/dfg"
+	"sherlock/internal/layout"
+)
+
+// Optimized implements Algorithm 2: op nodes are clustered so that each
+// cluster's operand footprint fits one CIM column, clusters are greedily
+// merged down toward k = ceil(#operands / rows), each cluster is assigned a
+// column, and the generated instructions are merged across clusters
+// (Sec. 3.3.3) after a dependence-preserving level schedule.
+func Optimized(g *dfg.Graph, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := validateInput(g, opt.Target); err != nil {
+		return nil, err
+	}
+	t := opt.Target
+	operands := len(g.Operands())
+	k := (operands + t.Rows - 1) / t.Rows
+
+	clusters, err := findClusters(g, opt, t.Rows, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(clusters) > t.Arrays*t.Cols {
+		return nil, fmt.Errorf("mapping: %d clusters exceed the target's %d columns",
+			len(clusters), t.Arrays*t.Cols)
+	}
+
+	// Column assignment: cluster i -> i-th column in array-major order.
+	colOf := make(map[dfg.NodeID]layout.ColumnRef, len(g.OpNodes()))
+	for i, ops := range clusters {
+		col, err := columnAt(t, i)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range ops {
+			colOf[op] = col
+		}
+	}
+
+	// Generate code in global priority order so that structurally parallel
+	// clusters advance their row allocators in lockstep — the precondition
+	// for cross-cluster instruction merging.
+	e := newEmitter(g, t, opt.RecycleRows, opt.WearLeveling)
+	for _, op := range g.OpsByPriority() {
+		col := colOf[op]
+		if g.OpType(op).IsUnary() {
+			p, err := e.inputPlace(g.OpInputs(op)[0], col)
+			if err != nil {
+				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+			}
+			if err := e.emitOp(op, col, []layout.Place{p}); err != nil {
+				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+			}
+			e.retireInputs(op)
+			continue
+		}
+		ins := g.OpInputs(op)
+		places := make([]layout.Place, len(ins))
+		for i, in := range ins {
+			p, err := e.ensureInColumn(in, col)
+			if err != nil {
+				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+			}
+			places[i] = p
+		}
+		if err := e.emitOp(op, col, places); err != nil {
+			return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+		}
+		e.retireInputs(op)
+	}
+
+	merged, eliminated := MergeInstructions(e.prog)
+	res := &Result{Program: merged, Layout: e.lay, Graph: g}
+	res.Stats = Stats{
+		Copies:       e.copies,
+		ColumnsUsed:  len(e.lay.ColumnsUsed()),
+		Clusters:     len(clusters),
+		MergedAway:   eliminated,
+		Instructions: len(merged),
+		RecycledRows: e.lay.RecycledAllocs(),
+	}
+	return res, nil
+}
+
+// Clusters exposes the clustering stage on its own (for inspection, tests
+// and the dfg2dot tool).
+func Clusters(g *dfg.Graph, opt Options) ([][]dfg.NodeID, error) {
+	opt = opt.withDefaults()
+	if err := validateInput(g, opt.Target); err != nil {
+		return nil, err
+	}
+	t := opt.Target
+	operands := len(g.Operands())
+	k := (operands + t.Rows - 1) / t.Rows
+	return findClusters(g, opt, t.Rows, k)
+}

@@ -1,0 +1,187 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sherlock/internal/isa"
+	"sherlock/internal/logic"
+)
+
+// MergeInstructions implements the instruction-merging optimization of
+// Sec. 3.3.3: instructions in different columns that activate the same rows
+// fuse into one instruction carrying a per-column operation list.
+//
+// A dependence DAG over the instruction stream (cells and per-column row
+// buffer bits as resources; shifts touch their whole array's buffer) is
+// level-scheduled ASAP; instructions within one level are mutually
+// independent by construction, so compatible ones merge:
+//
+//   - scouting reads with identical array and row set,
+//   - plain reads with identical array and row,
+//   - writes with identical array, row, and data source,
+//   - row-buffer NOTs on the same array.
+//
+// It returns the merged program and the number of instructions eliminated.
+func MergeInstructions(p isa.Program) (isa.Program, int) {
+	if len(p) == 0 {
+		return p, 0
+	}
+	levels := scheduleLevels(p)
+
+	// Group instruction indices by level in one pass.
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	byLevel := make([][]int, maxLevel+1)
+	for i, l := range levels {
+		byLevel[l] = append(byLevel[l], i)
+	}
+
+	var out isa.Program
+	for _, idxs := range byLevel {
+		buckets := make(map[string][]isa.Instruction)
+		var keysInOrder []string
+		for _, i := range idxs {
+			k := mergeKey(p[i], i)
+			if _, seen := buckets[k]; !seen {
+				keysInOrder = append(keysInOrder, k)
+			}
+			buckets[k] = append(buckets[k], p[i])
+		}
+		sort.Strings(keysInOrder)
+		for _, k := range keysInOrder {
+			out = append(out, mergeBucket(buckets[k])...)
+		}
+	}
+	return out, len(p) - len(out)
+}
+
+// mergeKey groups mergeable instructions; instructions with unique keys
+// pass through unmerged.
+func mergeKey(in isa.Instruction, idx int) string {
+	switch in.Kind {
+	case isa.KindRead:
+		return fmt.Sprintf("R/%d/%s", in.Array, joinRows(in.Rows))
+	case isa.KindWrite:
+		src := "buf"
+		if in.IsHostWrite() {
+			src = "host"
+		} else if in.HasSrcArray {
+			src = fmt.Sprintf("x%d", in.SrcArray)
+		}
+		return fmt.Sprintf("W/%d/%d/%s", in.Array, in.Rows[0], src)
+	case isa.KindNot:
+		return fmt.Sprintf("N/%d", in.Array)
+	default: // shifts never merge
+		return fmt.Sprintf("S/%06d", idx)
+	}
+}
+
+func joinRows(rows []int) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprint(r)
+	}
+	return strings.Join(parts, ",")
+}
+
+// mergeBucket fuses one bucket of same-signature instructions. Columns
+// within a level are disjoint by dependence construction.
+func mergeBucket(ins []isa.Instruction) []isa.Instruction {
+	if len(ins) == 1 {
+		return ins
+	}
+	base := ins[0]
+	type colData struct {
+		op      logic.Op
+		binding string
+	}
+	cols := make(map[int]colData)
+	for _, in := range ins {
+		for i, c := range in.Cols {
+			d := colData{}
+			if len(in.Ops) > 0 {
+				d.op = in.Ops[i]
+			}
+			if in.Bindings != nil {
+				d.binding = in.Bindings[i]
+			}
+			if _, dup := cols[c]; dup {
+				// Shared column inside one level would be a scheduler
+				// bug; fail safe by not merging at all.
+				return ins
+			}
+			cols[c] = d
+		}
+	}
+	sorted := make([]int, 0, len(cols))
+	for c := range cols {
+		sorted = append(sorted, c)
+	}
+	sort.Ints(sorted)
+
+	merged := isa.Instruction{
+		Kind:        base.Kind,
+		Array:       base.Array,
+		Rows:        base.Rows,
+		Cols:        sorted,
+		Right:       base.Right,
+		ShiftBy:     base.ShiftBy,
+		HasSrcArray: base.HasSrcArray,
+		SrcArray:    base.SrcArray,
+	}
+	if len(base.Ops) > 0 {
+		merged.Ops = make([]logic.Op, len(sorted))
+		for i, c := range sorted {
+			merged.Ops[i] = cols[c].op
+		}
+	}
+	if base.Bindings != nil {
+		merged.Bindings = make([]string, len(sorted))
+		for i, c := range sorted {
+			merged.Bindings[i] = cols[c].binding
+		}
+	}
+	return []isa.Instruction{merged}
+}
+
+// scheduleLevels assigns each instruction its ASAP dependence level.
+func scheduleLevels(p isa.Program) []int {
+	bufCols := p.MaxCol()
+	levels := make([]int, len(p))
+	lastWriter := make(map[isa.Resource]int)
+	lastReaders := make(map[isa.Resource][]int)
+	for i, in := range p {
+		reads, writes := in.Accesses(bufCols)
+		lvl := 0
+		for _, r := range reads {
+			if w, ok := lastWriter[r]; ok && levels[w]+1 > lvl {
+				lvl = levels[w] + 1 // RAW
+			}
+		}
+		for _, r := range writes {
+			if w, ok := lastWriter[r]; ok && levels[w]+1 > lvl {
+				lvl = levels[w] + 1 // WAW
+			}
+			for _, rd := range lastReaders[r] {
+				if levels[rd]+1 > lvl {
+					lvl = levels[rd] + 1 // WAR
+				}
+			}
+		}
+		levels[i] = lvl
+		for _, r := range reads {
+			lastReaders[r] = append(lastReaders[r], i)
+		}
+		for _, r := range writes {
+			lastWriter[r] = i
+			delete(lastReaders, r)
+		}
+	}
+	return levels
+}

@@ -1,0 +1,96 @@
+package reliability
+
+import (
+	"testing"
+
+	"sherlock/internal/device"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+)
+
+func TestAssessWearCounts(t *testing.T) {
+	p := isa.Program{
+		{Kind: isa.KindWrite, Cols: []int{0, 1}, Rows: []int{5}, Bindings: []string{"a", "b"}},
+		{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{5}},
+		{Kind: isa.KindWrite, Cols: []int{3}, Rows: []int{7}},
+		{Kind: isa.KindRead, Cols: []int{0}, Rows: []int{5}},
+		{Kind: isa.KindShift, ShiftBy: 1},
+	}
+	rep, err := AssessWear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalWrites != 4 {
+		t.Errorf("total writes = %d, want 4", rep.TotalWrites)
+	}
+	if rep.CellsUsed != 3 {
+		t.Errorf("cells = %d, want 3", rep.CellsUsed)
+	}
+	if rep.MaxWritesPerCell != 2 {
+		t.Errorf("max per cell = %d, want 2 (cell 0/0/5 written twice)", rep.MaxWritesPerCell)
+	}
+	hot := rep.HotCells[0]
+	if hot.Place != (layout.Place{Array: 0, Col: 0, Row: 5}) || hot.Writes != 2 {
+		t.Errorf("hot cell = %+v", hot)
+	}
+	if rep.MeanWritesPerCell <= 1 || rep.MeanWritesPerCell >= 2 {
+		t.Errorf("mean = %f", rep.MeanWritesPerCell)
+	}
+}
+
+func TestAssessWearEmptyAndInvalid(t *testing.T) {
+	rep, err := AssessWear(nil)
+	if err != nil || rep.TotalWrites != 0 || len(rep.HotCells) != 0 {
+		t.Errorf("empty program: %+v %v", rep, err)
+	}
+	if rep.LifetimeExecutions(1e9) != 0 {
+		t.Error("lifetime of write-free program should be 0 (nothing to wear)")
+	}
+	if _, err := AssessWear(isa.Program{{Kind: isa.KindShift}}); err == nil {
+		t.Error("invalid instruction accepted")
+	}
+}
+
+func TestLifetimeExecutions(t *testing.T) {
+	p := isa.Program{{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"x"}}}
+	rep, err := AssessWear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.LifetimeExecutions(EnduranceWrites(device.ReRAM)); got != 1e9 {
+		t.Errorf("lifetime = %g, want 1e9", got)
+	}
+	if EnduranceWrites(device.PCM) >= EnduranceWrites(device.ReRAM) {
+		t.Error("PCM must wear out before ReRAM")
+	}
+	if EnduranceWrites(device.STTMRAM) <= EnduranceWrites(device.ReRAM) {
+		t.Error("STT-MRAM endures longest")
+	}
+}
+
+func TestRecyclingConcentratesWear(t *testing.T) {
+	// Reusing rows trades capacity for wear: the same cells absorb more
+	// writes. This documents the trade-off the RecycleRows option makes.
+	reuse := isa.Program{
+		{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"a"}},
+		{Kind: isa.KindRead, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindRead, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{0}},
+	}
+	spread := isa.Program{
+		{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"a"}},
+		{Kind: isa.KindRead, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{1}},
+		{Kind: isa.KindRead, Cols: []int{0}, Rows: []int{1}},
+		{Kind: isa.KindWrite, Cols: []int{0}, Rows: []int{2}},
+	}
+	r1, _ := AssessWear(reuse)
+	r2, _ := AssessWear(spread)
+	if r1.MaxWritesPerCell <= r2.MaxWritesPerCell {
+		t.Error("row reuse should concentrate wear")
+	}
+	if r1.LifetimeExecutions(1e9) >= r2.LifetimeExecutions(1e9) {
+		t.Error("concentrated wear should shorten lifetime")
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"sherlock/internal/arraymodel"
+	"sherlock/internal/device"
+	"sherlock/internal/isa"
+)
+
+func costModel() *arraymodel.CostModel {
+	return arraymodel.New(arraymodel.Config{Tech: device.STTMRAM, Rows: 64, Cols: 64, DataWidth: 256})
+}
+
+func TestParallelNeverExceedsSerial(t *testing.T) {
+	prog := isa.Program{
+		{Kind: isa.KindWrite, Array: 0, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"a"}},
+		{Kind: isa.KindWrite, Array: 1, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"b"}},
+		{Kind: isa.KindRead, Array: 0, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindRead, Array: 1, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindWrite, Array: 0, Cols: []int{0}, Rows: []int{1}},
+		{Kind: isa.KindWrite, Array: 1, Cols: []int{0}, Rows: []int{1}},
+	}
+	m := costModel()
+	serial, err := Measure(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureParallel(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.LatencyNS > serial.LatencyNS {
+		t.Fatalf("parallel %.1f > serial %.1f", par.LatencyNS, serial.LatencyNS)
+	}
+	if par.EnergyPJ != serial.EnergyPJ {
+		t.Fatal("parallel timing must not change energy")
+	}
+}
+
+func TestParallelOverlapsIndependentArrays(t *testing.T) {
+	// Two arrays doing identical independent work (local reads/writes, no
+	// bus): the makespan must be close to one array's serial time.
+	var prog isa.Program
+	for a := 0; a < 2; a++ {
+		prog = append(prog,
+			isa.Instruction{Kind: isa.KindRead, Array: a, Cols: []int{0}, Rows: []int{0}},
+			isa.Instruction{Kind: isa.KindWrite, Array: a, Cols: []int{0}, Rows: []int{1}},
+			isa.Instruction{Kind: isa.KindRead, Array: a, Cols: []int{0}, Rows: []int{1}},
+			isa.Instruction{Kind: isa.KindWrite, Array: a, Cols: []int{0}, Rows: []int{2}},
+		)
+	}
+	m := costModel()
+	serial, _ := Measure(prog, m)
+	par, err := MeasureParallel(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ~2x overlap.
+	if par.LatencyNS > 0.6*serial.LatencyNS {
+		t.Errorf("independent arrays barely overlapped: parallel %.1f vs serial %.1f",
+			par.LatencyNS, serial.LatencyNS)
+	}
+}
+
+func TestParallelRespectsTrueDependence(t *testing.T) {
+	// Array 1 consumes array 0's result over the bus: no overlap possible.
+	prog := isa.Program{
+		{Kind: isa.KindWrite, Array: 0, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"a"}},
+		{Kind: isa.KindRead, Array: 0, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindWrite, Array: 1, Cols: []int{0}, Rows: []int{0}, HasSrcArray: true, SrcArray: 0},
+		{Kind: isa.KindRead, Array: 1, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindWrite, Array: 1, Cols: []int{0}, Rows: []int{1}},
+	}
+	m := costModel()
+	serial, _ := Measure(prog, m)
+	par, err := MeasureParallel(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully serial chain: the makespan equals the serial sum.
+	if diff := serial.LatencyNS - par.LatencyNS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("dependent chain: parallel %.2f != serial %.2f", par.LatencyNS, serial.LatencyNS)
+	}
+}
+
+func TestParallelBusSerializesHostWrites(t *testing.T) {
+	// Host writes to different arrays share the bus: no overlap for them.
+	prog := isa.Program{
+		{Kind: isa.KindWrite, Array: 0, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"a"}},
+		{Kind: isa.KindWrite, Array: 1, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"b"}},
+		{Kind: isa.KindWrite, Array: 2, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"c"}},
+	}
+	m := costModel()
+	serial, _ := Measure(prog, m)
+	par, err := MeasureParallel(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := serial.LatencyNS - par.LatencyNS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("host writes overlapped despite the shared bus: %.2f vs %.2f",
+			par.LatencyNS, serial.LatencyNS)
+	}
+}
+
+func TestParallelInvalidProgram(t *testing.T) {
+	if _, err := MeasureParallel(isa.Program{{Kind: isa.KindShift}}, costModel()); err == nil {
+		t.Error("invalid instruction accepted")
+	}
+}
+
+func TestScheduleEventsConsistent(t *testing.T) {
+	prog := isa.Program{
+		{Kind: isa.KindWrite, Array: 0, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"a"}},
+		{Kind: isa.KindRead, Array: 0, Cols: []int{0}, Rows: []int{0}},
+		{Kind: isa.KindWrite, Array: 0, Cols: []int{0}, Rows: []int{1}},
+	}
+	m := costModel()
+	events, cost, err := Schedule(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(prog) {
+		t.Fatalf("events = %d, want %d", len(events), len(prog))
+	}
+	last := 0.0
+	for i, e := range events {
+		if e.Index != i {
+			t.Errorf("event %d has index %d", i, e.Index)
+		}
+		if e.FinishNS <= e.StartNS {
+			t.Errorf("event %d: non-positive duration", i)
+		}
+		// This program is a pure dependence chain: strictly ordered.
+		if e.StartNS < last {
+			t.Errorf("event %d starts before its predecessor finished", i)
+		}
+		last = e.FinishNS
+	}
+	if events[len(events)-1].FinishNS != cost.LatencyNS {
+		t.Error("makespan does not match last finish")
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	prog := isa.Program{
+		{Kind: isa.KindWrite, Array: 0, Cols: []int{0}, Rows: []int{0}, Bindings: []string{"a"}},
+	}
+	events, _, err := Schedule(prog, costModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTimelineCSV(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "start_ns") || !strings.Contains(out, "Write [0][0][0] <a>") {
+		t.Errorf("CSV malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("want header + 1 row, got:\n%s", out)
+	}
+}

@@ -1,0 +1,184 @@
+// Package stats implements the small statistical toolkit Sherlock needs to
+// model decision failures: normal and lognormal distributions, optimal
+// threshold placement between two Gaussians, and their overlap (misclassify)
+// probability. It replaces the SPICE + statistical post-processing stage of
+// the paper's flow.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normal is a Gaussian distribution N(Mu, Sigma^2).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the probability density at x.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		panic(fmt.Sprintf("stats: non-positive sigma %g", n.Sigma))
+	}
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		panic(fmt.Sprintf("stats: non-positive sigma %g", n.Sigma))
+	}
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// TailAbove returns P(X > x).
+func (n Normal) TailAbove(x float64) float64 {
+	return 0.5 * math.Erfc((x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Lognormal is a distribution whose logarithm is N(MuLog, SigmaLog^2).
+// NVM cell resistances under process variation are commonly modeled as
+// lognormal.
+type Lognormal struct {
+	MuLog    float64
+	SigmaLog float64
+}
+
+// LognormalFromMoments builds a lognormal with the given linear-domain mean
+// and relative standard deviation (sigma/mean).
+func LognormalFromMoments(mean, relSD float64) Lognormal {
+	if mean <= 0 || relSD < 0 {
+		panic(fmt.Sprintf("stats: invalid lognormal moments mean=%g relSD=%g", mean, relSD))
+	}
+	v := relSD * relSD // variance / mean^2
+	sigma2 := math.Log(1 + v)
+	return Lognormal{
+		MuLog:    math.Log(mean) - sigma2/2,
+		SigmaLog: math.Sqrt(sigma2),
+	}
+}
+
+// Mean returns the linear-domain mean.
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.MuLog + l.SigmaLog*l.SigmaLog/2)
+}
+
+// Variance returns the linear-domain variance.
+func (l Lognormal) Variance() float64 {
+	s2 := l.SigmaLog * l.SigmaLog
+	return (math.Exp(s2) - 1) * math.Exp(2*l.MuLog+s2)
+}
+
+// StdDev returns the linear-domain standard deviation.
+func (l Lognormal) StdDev() float64 { return math.Sqrt(l.Variance()) }
+
+// OverlapProbability returns the Bayes-optimal misclassification probability
+// when distinguishing two Gaussian classes with equal priors, along with the
+// decision threshold used. lo must have the smaller mean. The threshold is
+// placed where the two densities cross (restricted to the interval between
+// the means, which is the relevant root); the returned probability is
+//
+//	0.5 * P(lo > t) + 0.5 * P(hi < t).
+func OverlapProbability(lo, hi Normal) (p, threshold float64) {
+	if lo.Mu > hi.Mu {
+		lo, hi = hi, lo
+	}
+	threshold = gaussianCrossing(lo, hi)
+	p = 0.5*lo.TailAbove(threshold) + 0.5*hi.CDF(threshold)
+	return p, threshold
+}
+
+// gaussianCrossing finds the density crossing point between the two means.
+// For equal sigmas this is the midpoint; otherwise it solves the quadratic
+// from equating the two log-densities.
+func gaussianCrossing(lo, hi Normal) float64 {
+	s1, s2 := lo.Sigma, hi.Sigma
+	if math.Abs(s1-s2) < 1e-15*(s1+s2) {
+		return (lo.Mu + hi.Mu) / 2
+	}
+	// log f1 = log f2:
+	// (x-m1)^2/s1^2 - (x-m2)^2/s2^2 = 2 ln(s2/s1)
+	a := 1/(s1*s1) - 1/(s2*s2)
+	b := -2 * (lo.Mu/(s1*s1) - hi.Mu/(s2*s2))
+	c := lo.Mu*lo.Mu/(s1*s1) - hi.Mu*hi.Mu/(s2*s2) - 2*math.Log(s2/s1)
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return (lo.Mu + hi.Mu) / 2
+	}
+	r := math.Sqrt(disc)
+	x1 := (-b + r) / (2 * a)
+	x2 := (-b - r) / (2 * a)
+	// Pick the root lying between the means; fall back to midpoint.
+	if lo.Mu <= x1 && x1 <= hi.Mu {
+		return x1
+	}
+	if lo.Mu <= x2 && x2 <= hi.Mu {
+		return x2
+	}
+	return (lo.Mu + hi.Mu) / 2
+}
+
+// SumOfIID returns the distribution of the sum of n independent draws with
+// the given per-draw mean and standard deviation, using the normal
+// approximation (exact for normals; CLT otherwise).
+func SumOfIID(mean, sd float64, n int) Normal {
+	if n < 0 {
+		panic(fmt.Sprintf("stats: negative count %d", n))
+	}
+	if n == 0 {
+		// A degenerate zero contribution: keep a tiny sigma so PDF/CDF
+		// remain well defined for callers that add distributions.
+		return Normal{Mu: 0, Sigma: 1e-300}
+	}
+	return Normal{Mu: float64(n) * mean, Sigma: sd * math.Sqrt(float64(n))}
+}
+
+// AddIndependent returns the distribution of the sum of two independent
+// (approximately) normal variables.
+func AddIndependent(a, b Normal) Normal {
+	return Normal{Mu: a.Mu + b.Mu, Sigma: math.Hypot(a.Sigma, b.Sigma)}
+}
+
+// ProbAtLeastOne returns 1 - prod(1-p_i) computed in a numerically stable
+// way via log1p, suitable for very small per-event probabilities. Any p_i
+// >= 1 makes the result 1.
+func ProbAtLeastOne(ps []float64) float64 {
+	sumLog := 0.0
+	for _, p := range ps {
+		if p >= 1 {
+			return 1
+		}
+		if p < 0 {
+			panic(fmt.Sprintf("stats: negative probability %g", p))
+		}
+		sumLog += math.Log1p(-p)
+	}
+	return -math.Expm1(sumLog)
+}
+
+// ProbAtLeastOneWeighted computes 1 - prod_i (1-p_i)^n_i for event classes
+// with multiplicities, stable for tiny p and large n.
+func ProbAtLeastOneWeighted(ps []float64, counts []int) float64 {
+	if len(ps) != len(counts) {
+		panic("stats: ps/counts length mismatch")
+	}
+	sumLog := 0.0
+	for i, p := range ps {
+		if counts[i] < 0 {
+			panic(fmt.Sprintf("stats: negative count %d", counts[i]))
+		}
+		if p < 0 {
+			panic(fmt.Sprintf("stats: negative probability %g", p))
+		}
+		if counts[i] == 0 {
+			continue // zero occurrences contribute nothing (even at p=1)
+		}
+		if p >= 1 {
+			return 1
+		}
+		sumLog += float64(counts[i]) * math.Log1p(-p)
+	}
+	return -math.Expm1(sumLog)
+}

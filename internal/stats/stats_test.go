@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormalCDF(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959964, 0.975},
+		{-1.959964, 0.025},
+		{3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := n.CDF(c.x); !almost(got, c.want, 1e-4) {
+			t.Errorf("CDF(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalTailComplement(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	for _, x := range []float64{-5, 0, 3, 7.5} {
+		if got := n.CDF(x) + n.TailAbove(x); !almost(got, 1, 1e-12) {
+			t.Errorf("CDF+Tail at %g = %g, want 1", x, got)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0.5}
+	sum := 0.0
+	dx := 0.001
+	for x := -4.0; x <= 6.0; x += dx {
+		sum += n.PDF(x) * dx
+	}
+	if !almost(sum, 1, 1e-3) {
+		t.Errorf("PDF integral = %g, want 1", sum)
+	}
+}
+
+func TestLognormalMoments(t *testing.T) {
+	l := LognormalFromMoments(6000, 0.05)
+	if !almost(l.Mean(), 6000, 1e-6) {
+		t.Errorf("Mean = %g, want 6000", l.Mean())
+	}
+	if !almost(l.StdDev(), 300, 1e-6) {
+		t.Errorf("StdDev = %g, want 300", l.StdDev())
+	}
+}
+
+func TestQuickLognormalMomentsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mean := 1 + rng.Float64()*1e6
+		rel := rng.Float64() * 0.5
+		l := LognormalFromMoments(mean, rel)
+		return almost(l.Mean(), mean, mean*1e-9) &&
+			almost(l.StdDev(), mean*rel, mean*1e-9+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapSymmetricGaussians(t *testing.T) {
+	// Equal sigmas: threshold at midpoint, p = Q(d/2sigma).
+	lo := Normal{Mu: 0, Sigma: 1}
+	hi := Normal{Mu: 4, Sigma: 1}
+	p, th := OverlapProbability(lo, hi)
+	if !almost(th, 2, 1e-9) {
+		t.Errorf("threshold = %g, want 2", th)
+	}
+	want := 0.5 * math.Erfc(2/math.Sqrt2)
+	if !almost(p, want, 1e-12) {
+		t.Errorf("p = %g, want %g", p, want)
+	}
+}
+
+func TestOverlapArgumentOrderIrrelevant(t *testing.T) {
+	a := Normal{Mu: 10, Sigma: 2}
+	b := Normal{Mu: 3, Sigma: 0.7}
+	p1, _ := OverlapProbability(a, b)
+	p2, _ := OverlapProbability(b, a)
+	if !almost(p1, p2, 1e-15) {
+		t.Errorf("overlap depends on argument order: %g vs %g", p1, p2)
+	}
+}
+
+func TestOverlapShrinksWithSeparation(t *testing.T) {
+	prev := 1.0
+	for _, d := range []float64{0.5, 1, 2, 4, 8} {
+		p, _ := OverlapProbability(Normal{0, 1}, Normal{d, 1})
+		if p >= prev {
+			t.Errorf("overlap at separation %g = %g, not below %g", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestOverlapGrowsWithVariance(t *testing.T) {
+	prev := 0.0
+	for _, s := range []float64{0.2, 0.5, 1, 2} {
+		p, _ := OverlapProbability(Normal{0, s}, Normal{4, s})
+		if p <= prev {
+			t.Errorf("overlap at sigma %g = %g, not above %g", s, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestOverlapUnequalSigmasThresholdBetweenMeans(t *testing.T) {
+	lo := Normal{Mu: 0, Sigma: 0.5}
+	hi := Normal{Mu: 5, Sigma: 2}
+	p, th := OverlapProbability(lo, hi)
+	if th <= lo.Mu || th >= hi.Mu {
+		t.Fatalf("threshold %g not between means", th)
+	}
+	// The optimal threshold should not be worse than the naive midpoint.
+	mid := (lo.Mu + hi.Mu) / 2
+	naive := 0.5*lo.TailAbove(mid) + 0.5*hi.CDF(mid)
+	if p > naive+1e-12 {
+		t.Errorf("optimal overlap %g worse than midpoint %g", p, naive)
+	}
+}
+
+func TestSumOfIID(t *testing.T) {
+	d := SumOfIID(10, 2, 4)
+	if !almost(d.Mu, 40, 1e-12) || !almost(d.Sigma, 4, 1e-12) {
+		t.Errorf("SumOfIID = %+v, want Mu=40 Sigma=4", d)
+	}
+	z := SumOfIID(10, 2, 0)
+	if z.Mu != 0 || z.Sigma <= 0 {
+		t.Errorf("SumOfIID n=0 = %+v, want Mu=0 and positive Sigma", z)
+	}
+}
+
+func TestAddIndependent(t *testing.T) {
+	d := AddIndependent(Normal{1, 3}, Normal{2, 4})
+	if !almost(d.Mu, 3, 1e-12) || !almost(d.Sigma, 5, 1e-12) {
+		t.Errorf("AddIndependent = %+v, want Mu=3 Sigma=5", d)
+	}
+}
+
+func TestProbAtLeastOne(t *testing.T) {
+	if got := ProbAtLeastOne(nil); got != 0 {
+		t.Errorf("empty = %g, want 0", got)
+	}
+	if got := ProbAtLeastOne([]float64{0.5, 0.5}); !almost(got, 0.75, 1e-12) {
+		t.Errorf("two halves = %g, want 0.75", got)
+	}
+	if got := ProbAtLeastOne([]float64{1.0, 1e-9}); got != 1 {
+		t.Errorf("with certain event = %g, want 1", got)
+	}
+	// Tiny probabilities must not underflow to zero.
+	ps := make([]float64, 1000)
+	for i := range ps {
+		ps[i] = 1e-15
+	}
+	got := ProbAtLeastOne(ps)
+	if !almost(got, 1e-12, 1e-14) {
+		t.Errorf("1000 x 1e-15 = %g, want ~1e-12", got)
+	}
+}
+
+func TestProbAtLeastOneWeightedMatchesExpanded(t *testing.T) {
+	ps := []float64{1e-3, 5e-4}
+	counts := []int{7, 3}
+	var expanded []float64
+	for i, p := range ps {
+		for j := 0; j < counts[i]; j++ {
+			expanded = append(expanded, p)
+		}
+	}
+	a := ProbAtLeastOneWeighted(ps, counts)
+	b := ProbAtLeastOne(expanded)
+	if !almost(a, b, 1e-15) {
+		t.Errorf("weighted %g != expanded %g", a, b)
+	}
+}
+
+func TestQuickProbAtLeastOneBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		ps := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			ps = append(ps, math.Abs(math.Mod(r, 1)))
+		}
+		p := ProbAtLeastOne(ps)
+		if p < 0 || p > 1 {
+			return false
+		}
+		// Monotonicity: adding an event cannot decrease the probability.
+		return ProbAtLeastOne(append(ps, 0.1)) >= p-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnInvalidInputs(t *testing.T) {
+	for _, f := range []func(){
+		func() { Normal{Mu: 0, Sigma: 0}.PDF(1) },
+		func() { Normal{Mu: 0, Sigma: -1}.CDF(1) },
+		func() { LognormalFromMoments(-1, 0.1) },
+		func() { LognormalFromMoments(1, -0.1) },
+		func() { SumOfIID(1, 1, -1) },
+		func() { ProbAtLeastOne([]float64{-0.5}) },
+		func() { ProbAtLeastOneWeighted([]float64{0.1}, []int{1, 2}) },
+		func() { ProbAtLeastOneWeighted([]float64{0.1}, []int{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestProbAtLeastOneWeightedCertainEvent(t *testing.T) {
+	if got := ProbAtLeastOneWeighted([]float64{1.0}, []int{3}); got != 1 {
+		t.Errorf("certain event = %g, want 1", got)
+	}
+	if got := ProbAtLeastOneWeighted([]float64{1.0}, []int{0}); got != 0 {
+		t.Errorf("certain event with zero count = %g, want 0", got)
+	}
+}
+
+func TestLognormalVariancePositive(t *testing.T) {
+	l := LognormalFromMoments(100, 0.2)
+	if l.Variance() <= 0 {
+		t.Error("variance must be positive")
+	}
+	if !almost(l.Variance(), l.StdDev()*l.StdDev(), 1e-9) {
+		t.Error("variance/stddev inconsistent")
+	}
+}

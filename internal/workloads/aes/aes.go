@@ -1,0 +1,222 @@
+// Package aes generates the bit-sliced AES-128 encryption workload of the
+// paper's evaluation. Where the paper uses the Usuba bitslicing compiler,
+// this package synthesizes the S-box gate network from its truth table with
+// the aig substrate (memoized Shannon decomposition, structurally hashed)
+// and builds ShiftRows as pure renaming, MixColumns and AddRoundKey as XOR
+// networks. The resulting DFG is verified bit-exactly against crypto/aes.
+package aes
+
+import (
+	"fmt"
+	"sync"
+
+	"sherlock/internal/aig"
+	"sherlock/internal/dfg"
+)
+
+// Config sizes the generated kernel.
+type Config struct {
+	// Rounds executed (10 = full AES-128; fewer rounds keep the AES
+	// structure — final executed round skips MixColumns — and are used
+	// for fast tests and small-array experiments).
+	Rounds int
+	// SBox selects the SubBytes circuit generator.
+	SBox SBoxVariant
+}
+
+// DefaultConfig is full AES-128 with the tower-field S-box.
+func DefaultConfig() Config { return Config{Rounds: NumRounds, SBox: SBoxTowerField} }
+
+// Validate rejects out-of-range round counts.
+func (c Config) Validate() error {
+	if c.Rounds < 1 || c.Rounds > NumRounds {
+		return fmt.Errorf("aes: rounds %d outside [1,%d]", c.Rounds, NumRounds)
+	}
+	return nil
+}
+
+// PTName returns the plaintext input name for bit b of state byte i.
+func PTName(i, b int) string { return fmt.Sprintf("pt%d_b%d", i, b) }
+
+// RKName returns the round-key input name for bit b of byte i of round r.
+func RKName(r, i, b int) string { return fmt.Sprintf("rk%d_%d_b%d", r, i, b) }
+
+// CTName returns the ciphertext output name for bit b of state byte i.
+func CTName(i, b int) string { return fmt.Sprintf("ct%d_b%d", i, b) }
+
+// sboxCircuit builds (once) the shared S-box AIG: 8 inputs, 8 outputs.
+var sboxOnce sync.Once
+var sboxGraph *aig.Graph
+var sboxOuts [8]aig.Lit
+
+func sboxCircuit() (*aig.Graph, [8]aig.Lit) {
+	sboxOnce.Do(func() {
+		sboxGraph = aig.New(8)
+		for bit := 0; bit < 8; bit++ {
+			tt := aig.TTFromFunc(8, func(x uint) bool {
+				return SBox(byte(x))>>uint(bit)&1 == 1
+			})
+			sboxOuts[bit] = sboxGraph.Synthesize(tt)
+		}
+	})
+	return sboxGraph, sboxOuts
+}
+
+// SBoxGateCount reports the size of the synthesized S-box network (AND
+// nodes in the shared AIG), for documentation and stats.
+func SBoxGateCount() int {
+	g, _ := sboxCircuit()
+	return g.NumAnds()
+}
+
+type symByte [8]dfg.Val // little-endian bits of one state byte
+
+// Build generates the DFG. Inputs: 128 plaintext bits and 128·(rounds+1)
+// round-key bits (the key schedule runs on the host, as in bit-sliced
+// software AES); outputs: 128 ciphertext bits.
+func Build(cfg Config) (*dfg.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := dfg.NewBuilder()
+
+	var state [16]symByte
+	for i := 0; i < 16; i++ {
+		for bit := 0; bit < 8; bit++ {
+			state[i][bit] = b.Input(PTName(i, bit))
+		}
+	}
+	rk := make([][16]symByte, cfg.Rounds+1)
+	for r := 0; r <= cfg.Rounds; r++ {
+		for i := 0; i < 16; i++ {
+			for bit := 0; bit < 8; bit++ {
+				rk[r][i][bit] = b.Input(RKName(r, i, bit))
+			}
+		}
+	}
+
+	xorBytes := func(x, y symByte) symByte {
+		var out symByte
+		for bit := 0; bit < 8; bit++ {
+			out[bit] = b.Xor(x[bit], y[bit])
+		}
+		return out
+	}
+
+	// AddRoundKey 0.
+	for i := range state {
+		state[i] = xorBytes(state[i], rk[0][i])
+	}
+
+	var subByte func(x symByte) symByte
+	switch cfg.SBox {
+	case SBoxSynthesized:
+		g, outs := sboxCircuit()
+		subByte = func(x symByte) symByte {
+			var out symByte
+			copy(out[:], g.EmitAll(b, x[:], outs[:]))
+			return out
+		}
+	default: // SBoxTowerField
+		subByte = func(x symByte) symByte {
+			var in [8]dfg.Val
+			copy(in[:], x[:])
+			return sboxTowerCircuit(b, in)
+		}
+	}
+	xtime := func(x symByte) symByte {
+		// (x<<1) ^ (0x1B if bit7): bit0=x7, bit1=x0^x7, bit2=x1,
+		// bit3=x2^x7, bit4=x3^x7, bit5=x4, bit6=x5, bit7=x6.
+		hi := x[7]
+		return symByte{
+			hi,
+			b.Xor(x[0], hi),
+			x[1],
+			b.Xor(x[2], hi),
+			b.Xor(x[3], hi),
+			x[4],
+			x[5],
+			x[6],
+		}
+	}
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		// SubBytes.
+		for i := range state {
+			state[i] = subByte(state[i])
+		}
+		// ShiftRows: pure renaming.
+		var sh [16]symByte
+		for i := range sh {
+			sh[i] = state[shiftRowsIndex(i)]
+		}
+		state = sh
+		// MixColumns (not in the final executed round).
+		if r != cfg.Rounds {
+			var mixed [16]symByte
+			for c := 0; c < 4; c++ {
+				a := [4]symByte{state[4*c], state[4*c+1], state[4*c+2], state[4*c+3]}
+				var d [4]symByte
+				for i := range d {
+					d[i] = xtime(a[i])
+				}
+				tripled := func(i int) symByte { return xorBytes(d[i], a[i]) }
+				mixed[4*c] = xorBytes(xorBytes(d[0], tripled(1)), xorBytes(a[2], a[3]))
+				mixed[4*c+1] = xorBytes(xorBytes(a[0], d[1]), xorBytes(tripled(2), a[3]))
+				mixed[4*c+2] = xorBytes(xorBytes(a[0], a[1]), xorBytes(d[2], tripled(3)))
+				mixed[4*c+3] = xorBytes(xorBytes(tripled(0), a[1]), xorBytes(a[2], d[3]))
+			}
+			state = mixed
+		}
+		// AddRoundKey.
+		for i := range state {
+			state[i] = xorBytes(state[i], rk[r][i])
+		}
+	}
+
+	for i := 0; i < 16; i++ {
+		for bit := 0; bit < 8; bit++ {
+			b.Output(CTName(i, bit), state[i][bit])
+		}
+	}
+	return b.Graph(), nil
+}
+
+// Assignments binds plaintext and expanded key bits to the kernel inputs.
+func Assignments(cfg Config, pt [16]byte, key [16]byte) (map[string]bool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rks := ExpandKey(key)
+	in := make(map[string]bool, 128*(cfg.Rounds+2))
+	for i := 0; i < 16; i++ {
+		for bit := 0; bit < 8; bit++ {
+			in[PTName(i, bit)] = pt[i]>>uint(bit)&1 == 1
+		}
+	}
+	for r := 0; r <= cfg.Rounds; r++ {
+		for i := 0; i < 16; i++ {
+			for bit := 0; bit < 8; bit++ {
+				in[RKName(r, i, bit)] = rks[r][i]>>uint(bit)&1 == 1
+			}
+		}
+	}
+	return in, nil
+}
+
+// CiphertextFrom extracts the 16 output bytes from evaluated outputs.
+func CiphertextFrom(outs map[string]bool) ([16]byte, error) {
+	var ct [16]byte
+	for i := 0; i < 16; i++ {
+		for bit := 0; bit < 8; bit++ {
+			v, ok := outs[CTName(i, bit)]
+			if !ok {
+				return ct, fmt.Errorf("aes: missing output %s", CTName(i, bit))
+			}
+			if v {
+				ct[i] |= 1 << uint(bit)
+			}
+		}
+	}
+	return ct, nil
+}

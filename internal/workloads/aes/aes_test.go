@@ -1,0 +1,221 @@
+package aes
+
+import (
+	stdaes "crypto/aes"
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/dfg"
+)
+
+func TestGF256Basics(t *testing.T) {
+	if gmul(0x57, 0x83) != 0xC1 { // FIPS-197 worked example
+		t.Errorf("gmul(0x57,0x83) = %#x, want 0xC1", gmul(0x57, 0x83))
+	}
+	if gmul(0x57, 0x13) != 0xFE {
+		t.Errorf("gmul(0x57,0x13) = %#x, want 0xFE", gmul(0x57, 0x13))
+	}
+	for a := 1; a < 256; a++ {
+		inv := ginv(byte(a))
+		if gmul(byte(a), inv) != 1 {
+			t.Fatalf("ginv(%#x) = %#x is not an inverse", a, inv)
+		}
+	}
+	if ginv(0) != 0 {
+		t.Error("ginv(0) must be 0")
+	}
+}
+
+func TestSBoxKnownValues(t *testing.T) {
+	// FIPS-197 Table 7 spot checks.
+	known := map[byte]byte{
+		0x00: 0x63, 0x01: 0x7C, 0x10: 0xCA, 0x53: 0xED,
+		0xFF: 0x16, 0x9A: 0xB8, 0xC5: 0xA6,
+	}
+	for in, want := range known {
+		if got := SBox(in); got != want {
+			t.Errorf("SBox(%#02x) = %#02x, want %#02x", in, got, want)
+		}
+	}
+	// S-box must be a permutation.
+	seen := make(map[byte]bool)
+	for i := 0; i < 256; i++ {
+		seen[SBox(byte(i))] = true
+	}
+	if len(seen) != 256 {
+		t.Errorf("S-box covers %d values, want 256", len(seen))
+	}
+}
+
+func TestExpandKeyFIPSVector(t *testing.T) {
+	// FIPS-197 appendix A.1 key expansion for the standard test key.
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	rks := ExpandKey(key)
+	// w4 = a0fafe17 (first word of round key 1).
+	want1 := [4]byte{0xa0, 0xfa, 0xfe, 0x17}
+	for j := 0; j < 4; j++ {
+		if rks[1][j] != want1[j] {
+			t.Fatalf("round key 1 word 0 byte %d = %#02x, want %#02x", j, rks[1][j], want1[j])
+		}
+	}
+	// w43 ends the schedule: round key 10 = d014f9a8 c9ee2589 e13f0cc8 b6630ca6.
+	want10 := [16]byte{0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89,
+		0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6}
+	if rks[10] != want10 {
+		t.Fatalf("round key 10 = %x, want %x", rks[10], want10)
+	}
+}
+
+func TestEncryptReferenceMatchesCryptoAES(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var pt, key [16]byte
+		rng.Read(pt[:])
+		rng.Read(key[:])
+		got := EncryptReference(pt, key, NumRounds)
+		block, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [16]byte
+		block.Encrypt(want[:], pt[:])
+		if got != want {
+			t.Fatalf("trial %d: reference %x != crypto/aes %x", trial, got, want)
+		}
+	}
+}
+
+func TestFIPSKnownAnswer(t *testing.T) {
+	// FIPS-197 appendix B.
+	pt := [16]byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	want := [16]byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+		0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+	if got := EncryptReference(pt, key, NumRounds); got != want {
+		t.Fatalf("FIPS KAT failed: %x", got)
+	}
+}
+
+func TestSBoxCircuitExact(t *testing.T) {
+	g, outs := sboxCircuit()
+	for x := 0; x < 256; x++ {
+		in := make([]bool, 8)
+		for bit := 0; bit < 8; bit++ {
+			in[bit] = x>>uint(bit)&1 == 1
+		}
+		var got byte
+		for bit := 0; bit < 8; bit++ {
+			if g.Eval(outs[bit], in) {
+				got |= 1 << uint(bit)
+			}
+		}
+		if got != SBox(byte(x)) {
+			t.Fatalf("synthesized S-box(%#02x) = %#02x, want %#02x", x, got, SBox(byte(x)))
+		}
+	}
+	if n := SBoxGateCount(); n < 50 || n > 5000 {
+		t.Errorf("S-box gate count %d looks wrong", n)
+	}
+}
+
+func TestDFGOneRoundMatchesReference(t *testing.T) {
+	cfg := Config{Rounds: 1}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		var pt, key [16]byte
+		rng.Read(pt[:])
+		rng.Read(key[:])
+		in, err := Assignments(cfg, pt, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := dfg.EvaluateByName(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := CiphertextFrom(outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := EncryptReference(pt, key, 1); ct != want {
+			t.Fatalf("trial %d: %x != %x", trial, ct, want)
+		}
+	}
+}
+
+func TestDFGTwoRoundsExercisesMixColumns(t *testing.T) {
+	cfg := Config{Rounds: 2}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pt, key [16]byte
+	for i := range pt {
+		pt[i] = byte(i * 7)
+		key[i] = byte(255 - i)
+	}
+	in, _ := Assignments(cfg, pt, key)
+	outs, err := dfg.EvaluateByName(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := CiphertextFrom(outs)
+	if want := EncryptReference(pt, key, 2); ct != want {
+		t.Fatalf("%x != %x", ct, want)
+	}
+}
+
+func TestDFGFullAESMatchesCryptoAES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 10-round DFG evaluation is slow")
+	}
+	cfg := DefaultConfig()
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pt, key [16]byte
+	copy(pt[:], []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34})
+	copy(key[:], []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c})
+	in, _ := Assignments(cfg, pt, key)
+	outs, err := dfg.EvaluateByName(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := CiphertextFrom(outs)
+	block, _ := stdaes.NewCipher(key[:])
+	var want [16]byte
+	block.Encrypt(want[:], pt[:])
+	if ct != want {
+		t.Fatalf("gate-level AES %x != crypto/aes %x", ct, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, r := range []int{0, 11, -1} {
+		if _, err := Build(Config{Rounds: r}); err == nil {
+			t.Errorf("rounds %d accepted", r)
+		}
+		if _, err := Assignments(Config{Rounds: r}, [16]byte{}, [16]byte{}); err == nil {
+			t.Errorf("assignments with rounds %d accepted", r)
+		}
+	}
+}
+
+func TestCiphertextFromMissingOutput(t *testing.T) {
+	if _, err := CiphertextFrom(map[string]bool{}); err == nil {
+		t.Error("missing outputs accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package aes
+
+// GF(2^8) arithmetic and the AES building blocks, computed from first
+// principles (no hard-coded 256-entry tables): the S-box is the affine
+// transform of the multiplicative inverse modulo x^8+x^4+x^3+x+1, and the
+// key schedule is standard AES-128. Everything is cross-validated against
+// crypto/aes in the tests.
+
+// gmul multiplies in GF(2^8) modulo 0x11B (Russian peasant).
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// ginv returns the multiplicative inverse (0 maps to 0), via a^254.
+func ginv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 = a^(2+4+8+16+32+64+128) * a^2 ... use square-and-multiply.
+	result := byte(1)
+	base := a
+	for _, bit := range []bool{false, true, true, true, true, true, true, true} { // 254 = 0b11111110
+		if bit {
+			result = gmul(result, base)
+		}
+		base = gmul(base, base)
+	}
+	return result
+}
+
+// SBox returns S(x).
+func SBox(x byte) byte {
+	b := ginv(x)
+	var out byte
+	for i := 0; i < 8; i++ {
+		bit := b>>uint(i)&1 ^
+			b>>uint((i+4)%8)&1 ^
+			b>>uint((i+5)%8)&1 ^
+			b>>uint((i+6)%8)&1 ^
+			b>>uint((i+7)%8)&1 ^
+			0x63>>uint(i)&1
+		out |= bit << uint(i)
+	}
+	return out
+}
+
+// NumRounds is the AES-128 round count.
+const NumRounds = 10
+
+// ExpandKey computes the AES-128 key schedule: 11 round keys of 16 bytes,
+// in the standard column-major state order (byte i of a round key is
+// word[i/4] byte i%4).
+func ExpandKey(key [16]byte) [NumRounds + 1][16]byte {
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			t = [4]byte{SBox(t[1]), SBox(t[2]), SBox(t[3]), SBox(t[0])}
+			t[0] ^= rcon
+			rcon = gmul(rcon, 2)
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ t[j]
+		}
+	}
+	var rks [NumRounds + 1][16]byte
+	for r := 0; r <= NumRounds; r++ {
+		for c := 0; c < 4; c++ {
+			copy(rks[r][4*c:4*c+4], w[4*r+c][:])
+		}
+	}
+	return rks
+}
+
+// shiftRowsIndex returns the source byte index feeding state byte i after
+// ShiftRows, with the AES column-major layout (i = row + 4*col).
+func shiftRowsIndex(i int) int {
+	row, col := i%4, i/4
+	return row + 4*((col+row)%4)
+}
+
+// EncryptReference encrypts one block with the given number of rounds
+// (rounds = NumRounds is real AES-128; fewer rounds still apply the final
+// round's structure on the last round). It is the byte-level golden model
+// the gate-level DFG is verified against.
+func EncryptReference(pt [16]byte, key [16]byte, rounds int) [16]byte {
+	rks := ExpandKey(key)
+	state := pt
+	for i := range state {
+		state[i] ^= rks[0][i]
+	}
+	for r := 1; r <= rounds; r++ {
+		// SubBytes.
+		for i := range state {
+			state[i] = SBox(state[i])
+		}
+		// ShiftRows.
+		var sh [16]byte
+		for i := range sh {
+			sh[i] = state[shiftRowsIndex(i)]
+		}
+		state = sh
+		// MixColumns (skipped in the final executed round, as in AES).
+		if r != rounds {
+			state = mixColumns(state)
+		}
+		// AddRoundKey.
+		for i := range state {
+			state[i] ^= rks[r][i]
+		}
+	}
+	return state
+}
+
+func mixColumns(s [16]byte) [16]byte {
+	var out [16]byte
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		out[4*c] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		out[4*c+1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		out[4*c+2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		out[4*c+3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+	return out
+}

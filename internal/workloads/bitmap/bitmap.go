@@ -1,0 +1,149 @@
+// Package bitmap generates a BitFunnel-style bitmap-index query workload —
+// the web-search use case from the paper's introduction. A document corpus
+// is indexed by bit-sliced term signatures (each term owns a few "rows";
+// a document matches a term when any of its rows is set — higher-rank
+// rows trade precision for density, as in BitFunnel). A query batch is a
+// set of boolean expressions over shared term bitmaps:
+//
+//	match(q) = AND_{t in required(q)} OR_r term[t][r]
+//	           AND_{t in excluded(q)} NOT (OR_r term[t][r])
+//
+// Unlike bitweaving (private inputs per segment), queries *share* the term
+// bitmaps, creating the cross-cluster operand sharing that stresses the
+// mapper's copy insertion.
+package bitmap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sherlock/internal/dfg"
+)
+
+// Config sizes the generated query batch.
+type Config struct {
+	// Terms is the number of indexed terms (shared inputs).
+	Terms int
+	// RowsPerTerm is the OR fan-in of one term's signature rows.
+	RowsPerTerm int
+	// Queries is the number of independent query expressions.
+	Queries int
+	// TermsPerQuery is how many required terms each query ANDs.
+	TermsPerQuery int
+	// ExcludedPerQuery is how many negated terms each query carries.
+	ExcludedPerQuery int
+	// Seed drives the deterministic query-to-term assignment.
+	Seed int64
+}
+
+// DefaultConfig is a batch of 12 queries over a 24-term index.
+func DefaultConfig() Config {
+	return Config{Terms: 24, RowsPerTerm: 3, Queries: 12, TermsPerQuery: 4, ExcludedPerQuery: 1, Seed: 7}
+}
+
+// Validate rejects impossible shapes.
+func (c Config) Validate() error {
+	if c.Terms < 1 || c.RowsPerTerm < 1 || c.Queries < 1 {
+		return fmt.Errorf("bitmap: degenerate config %+v", c)
+	}
+	if c.TermsPerQuery < 1 || c.TermsPerQuery+c.ExcludedPerQuery > c.Terms {
+		return fmt.Errorf("bitmap: query wants %d+%d terms of %d",
+			c.TermsPerQuery, c.ExcludedPerQuery, c.Terms)
+	}
+	return nil
+}
+
+// RowName is the input name of row r of term t.
+func RowName(t, r int) string { return fmt.Sprintf("term%d_row%d", t, r) }
+
+// MatchName is the output name of query q's match bit.
+func MatchName(q int) string { return fmt.Sprintf("match%d", q) }
+
+// Query describes one generated query's term selection.
+type Query struct {
+	Required []int
+	Excluded []int
+}
+
+// Queries returns the deterministic query plan for the config.
+func (c Config) QueryPlan() []Query {
+	rng := rand.New(rand.NewSource(c.Seed))
+	plan := make([]Query, c.Queries)
+	for q := range plan {
+		perm := rng.Perm(c.Terms)
+		plan[q].Required = append([]int(nil), perm[:c.TermsPerQuery]...)
+		plan[q].Excluded = append([]int(nil), perm[c.TermsPerQuery:c.TermsPerQuery+c.ExcludedPerQuery]...)
+	}
+	return plan
+}
+
+// Build generates the DFG for the query batch.
+func Build(cfg Config) (*dfg.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := dfg.NewBuilder()
+	rows := make([][]dfg.Val, cfg.Terms)
+	for t := range rows {
+		rows[t] = make([]dfg.Val, cfg.RowsPerTerm)
+		for r := range rows[t] {
+			rows[t][r] = b.Input(RowName(t, r))
+		}
+	}
+	// The per-term OR is shared across queries through the builder's CSE.
+	termHit := func(t int) dfg.Val { return b.OrN(rows[t]...) }
+
+	for q, query := range cfg.QueryPlan() {
+		acc := termHit(query.Required[0])
+		for _, t := range query.Required[1:] {
+			acc = b.And(acc, termHit(t))
+		}
+		for _, t := range query.Excluded {
+			acc = b.And(acc, b.Not(termHit(t)))
+		}
+		b.Output(MatchName(q), acc)
+	}
+	return b.Graph(), nil
+}
+
+// Reference evaluates one query directly over the term-row bits
+// (rows[t][r]) — the golden model.
+func Reference(cfg Config, q Query, rows [][]bool) bool {
+	hit := func(t int) bool {
+		for _, v := range rows[t] {
+			if v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range q.Required {
+		if !hit(t) {
+			return false
+		}
+	}
+	for _, t := range q.Excluded {
+		if hit(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Assignments binds a term-row bit matrix (rows[t][r]) to the kernel
+// inputs.
+func Assignments(cfg Config, rows [][]bool) (map[string]bool, error) {
+	if len(rows) != cfg.Terms {
+		return nil, fmt.Errorf("bitmap: %d term rows, want %d", len(rows), cfg.Terms)
+	}
+	in := make(map[string]bool, cfg.Terms*cfg.RowsPerTerm)
+	for t := range rows {
+		if len(rows[t]) != cfg.RowsPerTerm {
+			return nil, fmt.Errorf("bitmap: term %d has %d rows, want %d", t, len(rows[t]), cfg.RowsPerTerm)
+		}
+		for r, v := range rows[t] {
+			in[RowName(t, r)] = v
+		}
+	}
+	return in, nil
+}

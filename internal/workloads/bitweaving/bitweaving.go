@@ -1,0 +1,118 @@
+// Package bitweaving generates the BitWeaving-V column-scan workload of the
+// paper's evaluation (Sec. 4): the predicate BETWEEN C1 AND C2 evaluated
+// over vertically bit-sliced codes (Li & Patel, SIGMOD'13).
+//
+// The kernel processes the code bits MSB-first, maintaining equality/less/
+// greater flags against both constants (Fig. 3a); one DFG instance is
+// generated per independent segment of the scanned column, with the
+// constant bits shared across segments — the data layout that makes the
+// mapping problem interesting.
+package bitweaving
+
+import (
+	"fmt"
+
+	"sherlock/internal/dfg"
+)
+
+// Config sizes the generated kernel.
+type Config struct {
+	// Bits is the code width w (bits per value).
+	Bits int
+	// Segments is the number of independent vector segments scanned by
+	// one kernel instance.
+	Segments int
+}
+
+// DefaultConfig matches the evaluation setup: 32-bit codes, 16 independent
+// segments (large enough that the kernel spans several CIM columns, where
+// the mapping quality matters).
+func DefaultConfig() Config { return Config{Bits: 32, Segments: 16} }
+
+// Validate rejects degenerate configurations.
+func (c Config) Validate() error {
+	if c.Bits < 1 || c.Bits > 64 {
+		return fmt.Errorf("bitweaving: bits %d outside [1,64]", c.Bits)
+	}
+	if c.Segments < 1 {
+		return fmt.Errorf("bitweaving: segments %d < 1", c.Segments)
+	}
+	return nil
+}
+
+// XName returns the input name of bit b (0 = LSB) of segment s's value.
+func XName(s, b int) string { return fmt.Sprintf("seg%d_x%d", s, b) }
+
+// C1Name and C2Name return the constant-operand input names.
+func C1Name(b int) string { return fmt.Sprintf("c1_%d", b) }
+
+// C2Name returns the input name of bit b of the upper constant.
+func C2Name(b int) string { return fmt.Sprintf("c2_%d", b) }
+
+// OutName returns the output name of segment s's BETWEEN flag.
+func OutName(s int) string { return fmt.Sprintf("seg%d_between", s) }
+
+// Build generates the DFG: inputs are the per-segment value bits plus the
+// shared constant bits; output s is true iff C1 <= x_s <= C2 (unsigned).
+func Build(cfg Config) (*dfg.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := dfg.NewBuilder()
+	c1 := make([]dfg.Val, cfg.Bits)
+	c2 := make([]dfg.Val, cfg.Bits)
+	for i := 0; i < cfg.Bits; i++ {
+		c1[i] = b.Input(C1Name(i))
+		c2[i] = b.Input(C2Name(i))
+	}
+	for s := 0; s < cfg.Segments; s++ {
+		x := make([]dfg.Val, cfg.Bits)
+		for i := 0; i < cfg.Bits; i++ {
+			x[i] = b.Input(XName(s, i))
+		}
+		// Column scan, MSB first: lt1 = (x < C1), gt2 = (x > C2).
+		lt1 := b.Const(false)
+		eq1 := b.Const(true)
+		gt2 := b.Const(false)
+		eq2 := b.Const(true)
+		for i := cfg.Bits - 1; i >= 0; i-- {
+			nx := b.Not(x[i])
+			// Against C1: x < C1 when, at the first differing bit,
+			// x has 0 and C1 has 1.
+			lt1 = b.Or(lt1, b.And(b.And(eq1, nx), c1[i]))
+			eq1 = b.And(eq1, b.Xnor(x[i], c1[i]))
+			// Against C2: x > C2 when x has 1 and C2 has 0.
+			gt2 = b.Or(gt2, b.And(b.And(eq2, x[i]), b.Not(c2[i])))
+			eq2 = b.And(eq2, b.Xnor(x[i], c2[i]))
+		}
+		b.Output(OutName(s), b.And(b.Not(lt1), b.Not(gt2)))
+	}
+	return b.Graph(), nil
+}
+
+// Reference is the scalar golden model: C1 <= x <= C2 over Bits-wide
+// unsigned codes.
+func Reference(x, c1, c2 uint64, bits int) bool {
+	mask := uint64(1)<<uint(bits) - 1
+	x, c1, c2 = x&mask, c1&mask, c2&mask
+	return c1 <= x && x <= c2
+}
+
+// Assignments binds the kernel inputs for the given segment values and
+// constants.
+func Assignments(cfg Config, values []uint64, c1, c2 uint64) (map[string]bool, error) {
+	if len(values) != cfg.Segments {
+		return nil, fmt.Errorf("bitweaving: %d values for %d segments", len(values), cfg.Segments)
+	}
+	in := make(map[string]bool, cfg.Segments*cfg.Bits+2*cfg.Bits)
+	for i := 0; i < cfg.Bits; i++ {
+		in[C1Name(i)] = c1>>uint(i)&1 == 1
+		in[C2Name(i)] = c2>>uint(i)&1 == 1
+	}
+	for s, v := range values {
+		for i := 0; i < cfg.Bits; i++ {
+			in[XName(s, i)] = v>>uint(i)&1 == 1
+		}
+	}
+	return in, nil
+}

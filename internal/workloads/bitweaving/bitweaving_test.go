@@ -1,0 +1,129 @@
+package bitweaving
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sherlock/internal/dfg"
+)
+
+func TestBuildValidates(t *testing.T) {
+	for _, bad := range []Config{{Bits: 0, Segments: 1}, {Bits: 65, Segments: 1}, {Bits: 8, Segments: 0}} {
+		if _, err := Build(bad); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+	g, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if got := len(g.Outputs()); got != cfg.Segments {
+		t.Errorf("outputs = %d, want %d", got, cfg.Segments)
+	}
+	if got := len(g.Inputs()); got != cfg.Segments*cfg.Bits+2*cfg.Bits {
+		t.Errorf("inputs = %d", got)
+	}
+}
+
+func TestKernelMatchesReferenceExhaustiveSmall(t *testing.T) {
+	cfg := Config{Bits: 4, Segments: 1}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c1 := uint64(0); c1 < 16; c1++ {
+		for c2 := uint64(0); c2 < 16; c2++ {
+			for x := uint64(0); x < 16; x++ {
+				in, err := Assignments(cfg, []uint64{x}, c1, c2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := dfg.EvaluateByName(g, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res[OutName(0)] != Reference(x, c1, c2, 4) {
+					t.Fatalf("BETWEEN(%d,%d,%d) = %v", x, c1, c2, res[OutName(0)])
+				}
+			}
+		}
+	}
+}
+
+func TestKernelMatchesReferenceRandomWide(t *testing.T) {
+	cfg := Config{Bits: 16, Segments: 4}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		c1 := uint64(rng.Intn(1 << 16))
+		c2 := uint64(rng.Intn(1 << 16))
+		vals := make([]uint64, cfg.Segments)
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(1 << 16))
+		}
+		in, err := Assignments(cfg, vals, c1, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dfg.EvaluateByName(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, v := range vals {
+			if res[OutName(s)] != Reference(v, c1, c2, 16) {
+				t.Fatalf("trial %d segment %d: BETWEEN(%d, %d, %d) wrong", trial, s, v, c1, c2)
+			}
+		}
+	}
+}
+
+func TestQuickBoundaryValues(t *testing.T) {
+	cfg := Config{Bits: 8, Segments: 1}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(c1, c2 uint8) bool {
+		// x on the boundaries must match exactly.
+		for _, x := range []uint64{uint64(c1), uint64(c2), 0, 255} {
+			in, err := Assignments(cfg, []uint64{x}, uint64(c1), uint64(c2))
+			if err != nil {
+				return false
+			}
+			res, err := dfg.EvaluateByName(g, in)
+			if err != nil {
+				return false
+			}
+			if res[OutName(0)] != Reference(x, uint64(c1), uint64(c2), 8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentsRejectsWrongCount(t *testing.T) {
+	if _, err := Assignments(Config{Bits: 4, Segments: 2}, []uint64{1}, 0, 3); err == nil {
+		t.Error("wrong value count accepted")
+	}
+}
+
+func TestGraphScalesWithSegments(t *testing.T) {
+	g1, _ := Build(Config{Bits: 8, Segments: 1})
+	g4, _ := Build(Config{Bits: 8, Segments: 4})
+	s1, s4 := g1.ComputeStats(), g4.ComputeStats()
+	if s4.Ops < 3*s1.Ops {
+		t.Errorf("segments should scale ops: 1 seg = %d, 4 seg = %d", s1.Ops, s4.Ops)
+	}
+}

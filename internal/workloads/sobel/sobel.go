@@ -1,0 +1,138 @@
+// Package sobel generates the bit-sliced Sobel edge-detection workload of
+// the paper's evaluation (Joshi et al.-style near-memory formulation): for
+// each pixel of an output tile, the 3x3 Sobel gradients Gx and Gy are
+// computed with ripple-carry adder networks, |Gx| + |Gy| is thresholded,
+// and the edge bit is emitted. The DFG is pure bulk-bitwise logic —
+// adders decompose into AND/OR/XOR gates via the symword substrate.
+package sobel
+
+import (
+	"fmt"
+
+	"sherlock/internal/dfg"
+	"sherlock/internal/symword"
+)
+
+// Config sizes the generated kernel.
+type Config struct {
+	// TileW and TileH are the output tile dimensions; the kernel reads a
+	// (TileW+2) x (TileH+2) input patch.
+	TileW, TileH int
+	// PixelBits is the input pixel depth (8 for the paper's setup).
+	PixelBits int
+	// Threshold on |Gx|+|Gy| deciding an edge.
+	Threshold uint64
+}
+
+// DefaultConfig matches the evaluation setup: a 4x4 tile of 8-bit pixels.
+func DefaultConfig() Config { return Config{TileW: 4, TileH: 4, PixelBits: 8, Threshold: 128} }
+
+// Validate rejects degenerate configurations.
+func (c Config) Validate() error {
+	if c.TileW < 1 || c.TileH < 1 {
+		return fmt.Errorf("sobel: tile %dx%d invalid", c.TileW, c.TileH)
+	}
+	if c.PixelBits < 1 || c.PixelBits > 16 {
+		return fmt.Errorf("sobel: pixel depth %d outside [1,16]", c.PixelBits)
+	}
+	maxMag := uint64(8) << uint(c.PixelBits) // loose bound on |Gx|+|Gy|
+	if c.Threshold >= maxMag {
+		return fmt.Errorf("sobel: threshold %d can never trigger", c.Threshold)
+	}
+	return nil
+}
+
+// PixName returns the input name of bit b of the patch pixel at (x, y),
+// 0 <= x < TileW+2, 0 <= y < TileH+2.
+func PixName(x, y, b int) string { return fmt.Sprintf("p%d_%d_b%d", x, y, b) }
+
+// EdgeName returns the output name of the edge bit for output pixel (x, y).
+func EdgeName(x, y int) string { return fmt.Sprintf("edge%d_%d", x, y) }
+
+// Build generates the DFG.
+func Build(cfg Config) (*dfg.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := dfg.NewBuilder()
+	patchW, patchH := cfg.TileW+2, cfg.TileH+2
+	pix := make([][]symword.Word, patchH)
+	for y := 0; y < patchH; y++ {
+		pix[y] = make([]symword.Word, patchW)
+		for x := 0; x < patchW; x++ {
+			w := make(symword.Word, cfg.PixelBits)
+			for bit := 0; bit < cfg.PixelBits; bit++ {
+				w[bit] = b.Input(PixName(x, y, bit))
+			}
+			pix[y][x] = w
+		}
+	}
+
+	// weighted = a + 2*mid + c over PixelBits+2 bits (max 4*(2^k-1) fits).
+	weighted := func(a, mid, c symword.Word) symword.Word {
+		wide := cfg.PixelBits + 2
+		s1 := symword.Add(b, symword.ZeroExtend(b, a, wide-1), symword.ShiftLeft(b, mid, 1)[:wide-1]) // wide bits
+		return symword.Add(b, s1, symword.ZeroExtend(b, c, wide))[:wide]
+	}
+
+	for oy := 0; oy < cfg.TileH; oy++ {
+		for ox := 0; ox < cfg.TileW; ox++ {
+			// Patch coordinates of the 3x3 neighborhood center.
+			cx, cy := ox+1, oy+1
+			gxWidth := cfg.PixelBits + 3 // signed
+			right := weighted(pix[cy-1][cx+1], pix[cy][cx+1], pix[cy+1][cx+1])
+			left := weighted(pix[cy-1][cx-1], pix[cy][cx-1], pix[cy+1][cx-1])
+			gx := symword.Sub(b, symword.ZeroExtend(b, right, gxWidth), symword.ZeroExtend(b, left, gxWidth))
+			bottom := weighted(pix[cy+1][cx-1], pix[cy+1][cx], pix[cy+1][cx+1])
+			top := weighted(pix[cy-1][cx-1], pix[cy-1][cx], pix[cy-1][cx+1])
+			gy := symword.Sub(b, symword.ZeroExtend(b, bottom, gxWidth), symword.ZeroExtend(b, top, gxWidth))
+
+			mag := symword.Add(b, symword.Abs(b, gx), symword.Abs(b, gy))
+			b.Output(EdgeName(ox, oy), symword.GEConst(b, mag, cfg.Threshold))
+		}
+	}
+	return b.Graph(), nil
+}
+
+// Reference computes the edge bit for output pixel (ox, oy) of the patch
+// (patch[y][x], row-major) — the scalar golden model.
+func Reference(cfg Config, patch [][]int, ox, oy int) bool {
+	cx, cy := ox+1, oy+1
+	w := func(a, m, c int) int { return a + 2*m + c }
+	gx := w(patch[cy-1][cx+1], patch[cy][cx+1], patch[cy+1][cx+1]) -
+		w(patch[cy-1][cx-1], patch[cy][cx-1], patch[cy+1][cx-1])
+	gy := w(patch[cy+1][cx-1], patch[cy+1][cx], patch[cy+1][cx+1]) -
+		w(patch[cy-1][cx-1], patch[cy-1][cx], patch[cy-1][cx+1])
+	mag := abs(gx) + abs(gy)
+	return uint64(mag) >= cfg.Threshold
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Assignments binds the patch pixels (patch[y][x], sized (TileH+2) x
+// (TileW+2)) to the kernel inputs.
+func Assignments(cfg Config, patch [][]int) (map[string]bool, error) {
+	if len(patch) != cfg.TileH+2 {
+		return nil, fmt.Errorf("sobel: patch height %d, want %d", len(patch), cfg.TileH+2)
+	}
+	in := make(map[string]bool)
+	for y := range patch {
+		if len(patch[y]) != cfg.TileW+2 {
+			return nil, fmt.Errorf("sobel: patch row %d width %d, want %d", y, len(patch[y]), cfg.TileW+2)
+		}
+		for x, v := range patch[y] {
+			if v < 0 || v >= 1<<uint(cfg.PixelBits) {
+				return nil, fmt.Errorf("sobel: pixel (%d,%d)=%d outside %d bits", x, y, v, cfg.PixelBits)
+			}
+			for bit := 0; bit < cfg.PixelBits; bit++ {
+				in[PixName(x, y, bit)] = v>>uint(bit)&1 == 1
+			}
+		}
+	}
+	return in, nil
+}

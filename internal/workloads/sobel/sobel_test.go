@@ -1,0 +1,144 @@
+package sobel
+
+import (
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/dfg"
+)
+
+func randomPatch(rng *rand.Rand, cfg Config) [][]int {
+	patch := make([][]int, cfg.TileH+2)
+	for y := range patch {
+		patch[y] = make([]int, cfg.TileW+2)
+		for x := range patch[y] {
+			patch[y][x] = rng.Intn(1 << uint(cfg.PixelBits))
+		}
+	}
+	return patch
+}
+
+func TestValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{TileW: 0, TileH: 1, PixelBits: 8, Threshold: 10},
+		{TileW: 1, TileH: 1, PixelBits: 0, Threshold: 10},
+		{TileW: 1, TileH: 1, PixelBits: 8, Threshold: 99999},
+	} {
+		if _, err := Build(bad); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestKernelMatchesReference(t *testing.T) {
+	cfg := Config{TileW: 2, TileH: 2, PixelBits: 8, Threshold: 128}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		patch := randomPatch(rng, cfg)
+		in, err := Assignments(cfg, patch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dfg.EvaluateByName(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oy := 0; oy < cfg.TileH; oy++ {
+			for ox := 0; ox < cfg.TileW; ox++ {
+				if res[EdgeName(ox, oy)] != Reference(cfg, patch, ox, oy) {
+					t.Fatalf("trial %d: edge(%d,%d) mismatch", trial, ox, oy)
+				}
+			}
+		}
+	}
+}
+
+func TestExtremePatches(t *testing.T) {
+	cfg := Config{TileW: 1, TileH: 1, PixelBits: 8, Threshold: 100}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := [][]int{{7, 7, 7}, {7, 7, 7}, {7, 7, 7}}
+	step := [][]int{{0, 255, 255}, {0, 255, 255}, {0, 255, 255}}
+	for name, c := range map[string]struct {
+		patch [][]int
+		want  bool
+	}{
+		"flat region has no edge":  {flat, false},
+		"vertical step is an edge": {step, true},
+	} {
+		in, err := Assignments(cfg, c.patch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dfg.EvaluateByName(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[EdgeName(0, 0)] != c.want {
+			t.Errorf("%s: got %v", name, res[EdgeName(0, 0)])
+		}
+		if Reference(cfg, c.patch, 0, 0) != c.want {
+			t.Errorf("%s: reference disagrees", name)
+		}
+	}
+}
+
+func TestLowThresholdAndHighThreshold(t *testing.T) {
+	// Threshold 1 fires on any non-flat patch; max-1 threshold almost
+	// never fires — exercises comparator edges against the reference.
+	rng := rand.New(rand.NewSource(9))
+	for _, th := range []uint64{1, 2039} {
+		cfg := Config{TileW: 1, TileH: 1, PixelBits: 8, Threshold: th}
+		g, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			patch := randomPatch(rng, cfg)
+			in, _ := Assignments(cfg, patch)
+			res, err := dfg.EvaluateByName(g, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[EdgeName(0, 0)] != Reference(cfg, patch, 0, 0) {
+				t.Fatalf("threshold %d trial %d mismatch", th, trial)
+			}
+		}
+	}
+}
+
+func TestAssignmentsRejectBadPatch(t *testing.T) {
+	cfg := Config{TileW: 1, TileH: 1, PixelBits: 8, Threshold: 100}
+	if _, err := Assignments(cfg, [][]int{{1, 2, 3}}); err == nil {
+		t.Error("short patch accepted")
+	}
+	if _, err := Assignments(cfg, [][]int{{1, 2}, {1, 2}, {1, 2}}); err == nil {
+		t.Error("narrow patch accepted")
+	}
+	if _, err := Assignments(cfg, [][]int{{1, 2, 300}, {1, 2, 3}, {1, 2, 3}}); err == nil {
+		t.Error("out-of-range pixel accepted")
+	}
+}
+
+func TestGraphIsPureBulkBitwise(t *testing.T) {
+	g, err := Build(Config{TileW: 2, TileH: 2, PixelBits: 4, Threshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.ComputeStats()
+	if st.Ops < 100 {
+		t.Errorf("suspiciously small Sobel DFG: %d ops", st.Ops)
+	}
+	if st.MaxArity != 2 {
+		t.Errorf("builder should emit binary ops, max arity %d", st.MaxArity)
+	}
+}

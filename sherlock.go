@@ -1,0 +1,284 @@
+// Package sherlock is an end-to-end compilation and evaluation framework
+// for bulk bitwise computation in NVM compute-in-memory (CIM) arrays,
+// reproducing "SHERLOCK: Scheduling Efficient and Reliable Bulk Bitwise
+// Operations in NVMs" (DAC 2024).
+//
+// The flow mirrors the paper's Fig. 1: a high-level kernel (a C subset or a
+// programmatically built data-flow graph) is lowered to a DFG, mapped onto
+// the columns of a scouting-logic CIM array by either the naive (Algorithm
+// 1) or the optimized clustering mapper (Algorithm 2), and emitted as an
+// instruction program in the paper's format. The compiled result can be
+// executed bit-exactly on the built-in array simulator, costed under
+// calibrated latency/energy models for ReRAM, STT-MRAM and PCM, and
+// assessed for decision-failure reliability.
+//
+// Quick start:
+//
+//	src := `void k(word a, word b, word *out) { *out = a & ~b; }`
+//	c, err := sherlock.CompileC(src, sherlock.Options{
+//	    Tech:      sherlock.STTMRAM,
+//	    ArraySize: 512,
+//	    Mapper:    sherlock.MapperOptimized,
+//	})
+//	outs, err := c.Run(map[string]bool{"a": true, "b": false})
+//	cost, err := c.Cost()
+//	rel, err := c.Reliability()
+package sherlock
+
+import (
+	"fmt"
+
+	"sherlock/internal/arraymodel"
+	"sherlock/internal/cparser"
+	"sherlock/internal/device"
+	"sherlock/internal/dfg"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/mapping"
+	"sherlock/internal/reliability"
+	"sherlock/internal/sim"
+)
+
+// Re-exported core types. The internal packages hold the implementations;
+// these aliases form the supported public surface.
+type (
+	// Graph is the bulk-bitwise data-flow graph.
+	Graph = dfg.Graph
+	// Builder constructs Graphs from expressions with folding and CSE.
+	Builder = dfg.Builder
+	// Val is a Builder value handle.
+	Val = dfg.Val
+	// Program is a CIM instruction sequence (paper Fig. 4 format).
+	Program = isa.Program
+	// Instruction is one CIM instruction.
+	Instruction = isa.Instruction
+	// Target describes the CIM fabric available to the mapper.
+	Target = layout.Target
+	// Place is a cell coordinate (array, column, row).
+	Place = layout.Place
+	// Technology identifies an NVM cell technology.
+	Technology = device.Technology
+	// DeviceParams is a technology's cell and sensing model.
+	DeviceParams = device.Params
+	// Cost is measured latency/energy of a program.
+	Cost = sim.Cost
+	// ReliabilityReport is the decision-failure assessment of a program.
+	ReliabilityReport = reliability.Report
+	// MappingStats summarizes what the mapper did.
+	MappingStats = mapping.Stats
+)
+
+// Supported technologies.
+const (
+	STTMRAM = device.STTMRAM
+	ReRAM   = device.ReRAM
+	PCM     = device.PCM
+)
+
+// NewBuilder returns a fresh DFG builder (the programmatic front-end).
+func NewBuilder() *Builder { return dfg.NewBuilder() }
+
+// ParamsFor returns the calibrated device model of a technology.
+func ParamsFor(t Technology) DeviceParams { return device.ParamsFor(t) }
+
+// MapperKind selects the mapping algorithm.
+type MapperKind int
+
+// The two mappers of the paper.
+const (
+	MapperNaive     MapperKind = iota // Algorithm 1: column-major packing
+	MapperOptimized                   // Algorithm 2: clustering + instruction merging
+)
+
+func (m MapperKind) String() string {
+	switch m {
+	case MapperNaive:
+		return "naive"
+	case MapperOptimized:
+		return "optimized"
+	}
+	return fmt.Sprintf("MapperKind(%d)", int(m))
+}
+
+// Options configures compilation.
+type Options struct {
+	// Tech selects the NVM technology (default STTMRAM).
+	Tech Technology
+	// ArraySize is the squared array dimension n (default 512); the cost
+	// model uses Table 1's n x n geometry with data width 4n.
+	ArraySize int
+	// Arrays is how many arrays the mapper may spread across (default 4).
+	Arrays int
+	// Mapper selects Algorithm 1 or 2 (default MapperOptimized).
+	Mapper MapperKind
+
+	// MultiRowActivation applies the node-substitution transform
+	// (Sec. 3.3.3), fusing same-type chains into multi-operand ops up to
+	// the technology's row-activation limit.
+	MultiRowActivation bool
+	// MRAFraction is the fraction of fusion opportunities taken when
+	// MultiRowActivation is set (default 1).
+	MRAFraction float64
+	// NANDLowering rewrites XOR/OR into NAND/NOT form — the reliable
+	// configuration for STT-MRAM (Fig. 6b).
+	NANDLowering bool
+	// RecycleRows lets the mapper reuse rows of dead intermediates,
+	// stretching the limited array capacity (an extension beyond the
+	// paper's mappers; see DESIGN.md).
+	RecycleRows bool
+	// WearLeveling spreads recycled-row reuse across the column (FIFO
+	// rotation after fresh rows), trading locality for endurance.
+	WearLeveling bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ArraySize == 0 {
+		o.ArraySize = 512
+	}
+	if o.Arrays == 0 {
+		o.Arrays = 4
+	}
+	if o.MultiRowActivation && o.MRAFraction == 0 {
+		o.MRAFraction = 1
+	}
+	return o
+}
+
+// Compiled is a mapped kernel ready to execute, cost and assess.
+type Compiled struct {
+	Graph   *Graph
+	Program Program
+	Stats   MappingStats
+
+	opts   Options
+	result *mapping.Result
+}
+
+// CompileC parses a C-subset kernel (see internal/cparser for the accepted
+// dialect) and compiles it.
+func CompileC(src string, opts Options) (*Compiled, error) {
+	parsed, err := cparser.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileGraph(parsed.Graph, opts)
+}
+
+// CompileGraph maps an already-built DFG.
+func CompileGraph(g *Graph, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	params := device.ParamsFor(opts.Tech)
+
+	if opts.MultiRowActivation {
+		g, _ = dfg.SubstituteNodes(g, dfg.SubstituteOptions{
+			MaxOperands: params.MaxRows,
+			Fraction:    opts.MRAFraction,
+			Seed:        1,
+		})
+	}
+	if opts.NANDLowering {
+		g, _ = dfg.LowerToNAND(g)
+	}
+
+	mopts := mapping.Options{
+		Target: Target{
+			Arrays: opts.Arrays,
+			Rows:   opts.ArraySize,
+			Cols:   opts.ArraySize,
+		},
+		RecycleRows:  opts.RecycleRows,
+		WearLeveling: opts.WearLeveling,
+	}
+	var res *mapping.Result
+	var err error
+	if opts.Mapper == MapperNaive {
+		res, err = mapping.Naive(g, mopts)
+	} else {
+		res, err = mapping.Optimized(g, mopts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Graph:   g,
+		Program: res.Program,
+		Stats:   res.Stats,
+		opts:    opts,
+		result:  res,
+	}, nil
+}
+
+// Cost measures the program under the compiled technology and array size,
+// with the conservative one-instruction-at-a-time timing model.
+func (c *Compiled) Cost() (Cost, error) {
+	cm := arraymodel.New(arraymodel.DefaultConfig(c.opts.Tech, c.opts.ArraySize))
+	return sim.Measure(c.Program, cm)
+}
+
+// CostParallel measures with the multi-array timing model: instructions on
+// different arrays overlap when their data dependences allow, exposing the
+// subarray parallelism of the target system.
+func (c *Compiled) CostParallel() (Cost, error) {
+	cm := arraymodel.New(arraymodel.DefaultConfig(c.opts.Tech, c.opts.ArraySize))
+	return sim.MeasureParallel(c.Program, cm)
+}
+
+// Reliability assesses the application failure probability P_app.
+func (c *Compiled) Reliability() (ReliabilityReport, error) {
+	return reliability.Assess(c.Program, device.ParamsFor(c.opts.Tech))
+}
+
+// Wear reports the per-cell write pressure of one execution (endurance).
+func (c *Compiled) Wear() (reliability.WearReport, error) {
+	return reliability.AssessWear(c.Program)
+}
+
+// Timeline returns the per-instruction schedule under the multi-array
+// timing model, exportable with sim.WriteTimelineCSV.
+func (c *Compiled) Timeline() ([]sim.Event, Cost, error) {
+	cm := arraymodel.New(arraymodel.DefaultConfig(c.opts.Tech, c.opts.ArraySize))
+	return sim.Schedule(c.Program, cm)
+}
+
+// Run executes the program bit-exactly on the array simulator with the
+// given input assignment and reads back the kernel outputs by name.
+func (c *Compiled) Run(inputs map[string]bool) (map[string]bool, error) {
+	outs, _, err := c.run(inputs, false, 0)
+	return outs, err
+}
+
+// RunWithFaults executes with fault injection enabled: every sense decision
+// flips with its decision-failure probability. It additionally returns how
+// many faults were injected.
+func (c *Compiled) RunWithFaults(inputs map[string]bool, seed int64) (map[string]bool, int, error) {
+	return c.run(inputs, true, seed)
+}
+
+func (c *Compiled) run(inputs map[string]bool, faults bool, seed int64) (map[string]bool, int, error) {
+	m := sim.NewMachine(c.result.Layout.Target())
+	if faults {
+		m.EnableFaultInjection(device.ParamsFor(c.opts.Tech), seed)
+	}
+	if err := m.Run(c.Program, inputs); err != nil {
+		return nil, 0, err
+	}
+	outs := make(map[string]bool, len(c.Graph.Outputs()))
+	for _, out := range c.Graph.Outputs() {
+		p, err := c.result.OutputPlace(out)
+		if err != nil {
+			return nil, 0, err
+		}
+		v, err := m.ReadOut(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		outs[c.Graph.OutputName(out)] = v
+	}
+	return outs, m.FaultCount(), nil
+}
+
+// Evaluate computes the kernel's reference semantics directly on the DFG
+// (no mapping involved) — the golden model Run is verified against.
+func (c *Compiled) Evaluate(inputs map[string]bool) (map[string]bool, error) {
+	return dfg.EvaluateByName(c.Graph, inputs)
+}

@@ -1,0 +1,231 @@
+package sherlock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+const demoKernel = `
+void demo(word a, word b, word c, word *lo, word *hi) {
+	word t = (a & b) ^ c;
+	*lo = t | ~a;
+	*hi = t & b;
+}`
+
+func TestCompileCAndRun(t *testing.T) {
+	for _, mapper := range []MapperKind{MapperNaive, MapperOptimized} {
+		c, err := CompileC(demoKernel, Options{Mapper: mapper, Tech: ReRAM, ArraySize: 128})
+		if err != nil {
+			t.Fatalf("%v: %v", mapper, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 16; trial++ {
+			in := map[string]bool{
+				"a": rng.Intn(2) == 1, "b": rng.Intn(2) == 1, "c": rng.Intn(2) == 1,
+			}
+			got, err := c.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.Evaluate(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, w := range want {
+				if got[name] != w {
+					t.Fatalf("%v trial %d: %s = %v, want %v", mapper, trial, name, got[name], w)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileCSyntaxError(t *testing.T) {
+	if _, err := CompileC("void broken(", Options{}); err == nil {
+		t.Fatal("syntax error not reported")
+	}
+}
+
+func TestCostAndReliability(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: STTMRAM, ArraySize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := c.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.LatencyNS <= 0 || cost.EnergyPJ <= 0 {
+		t.Errorf("degenerate cost %+v", cost)
+	}
+	rel, err := c.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.PApp <= 0 || rel.PApp >= 1 {
+		t.Errorf("P_app = %g outside (0,1)", rel.PApp)
+	}
+	if rel.SenseDecisions == 0 {
+		t.Error("no sense decisions counted")
+	}
+}
+
+func TestBuilderFrontend(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Input("x"), b.Input("y")
+	b.Output("nand", b.Nand(x, y))
+	c, err := CompileGraph(b.Graph(), Options{ArraySize: 128, Arrays: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []map[string]bool{
+		{"x": true, "y": true}, {"x": true, "y": false},
+	} {
+		got, err := c.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got["nand"] != !(in["x"] && in["y"]) {
+			t.Fatalf("nand(%v) = %v", in, got["nand"])
+		}
+	}
+}
+
+func TestMultiRowActivationOption(t *testing.T) {
+	b := NewBuilder()
+	b.DisableCSE = true
+	acc := b.Input("v0")
+	for i := 1; i < 6; i++ {
+		acc = b.And(acc, b.Input(fmt.Sprintf("v%d", i)))
+	}
+	b.Output("all", acc)
+	g := b.Graph()
+
+	plain, err := CompileGraph(g, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := CompileGraph(g, Options{Tech: ReRAM, ArraySize: 128, MultiRowActivation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused.Program) >= len(plain.Program) {
+		t.Errorf("MRA did not shrink the program: %d vs %d", len(fused.Program), len(plain.Program))
+	}
+	in := make(map[string]bool)
+	for i := 0; i < 6; i++ {
+		in[fmt.Sprintf("v%d", i)] = true
+	}
+	got, err := fused.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["all"] {
+		t.Error("fused AND chain computed wrong result")
+	}
+}
+
+func TestNANDLoweringOption(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Input("x"), b.Input("y")
+	b.Output("o", b.Xor(x, y))
+	c, err := CompileGraph(b.Graph(), Options{Tech: STTMRAM, ArraySize: 128, NANDLowering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(map[string]bool{"x": true, "y": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["o"] {
+		t.Error("lowered XOR wrong")
+	}
+	// The lowered program must not issue XOR sense reads.
+	for _, in := range c.Program {
+		for _, op := range in.Ops {
+			if op.String() == "XOR" || op.String() == "OR" {
+				t.Fatalf("instruction %s kept a non-NAND sense op", in)
+			}
+		}
+	}
+}
+
+func TestRunWithFaultsInjects(t *testing.T) {
+	// A long XOR chain on (noisier-than-default) STT-MRAM should see at
+	// least one injected fault across many seeds.
+	b := NewBuilder()
+	b.DisableCSE = true
+	acc := b.Input("i0")
+	for i := 1; i < 32; i++ {
+		acc = b.Xor(acc, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	b.Output("parity", acc)
+	c, err := CompileGraph(b.Graph(), Options{Tech: STTMRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(map[string]bool)
+	for i := 0; i < 32; i++ {
+		in[fmt.Sprintf("i%d", i)] = i%3 == 0
+	}
+	total := 0
+	for seed := int64(0); seed < 200; seed++ {
+		_, n, err := c.RunWithFaults(in, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Error("no faults injected across 200 noisy executions")
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.ArraySize != 512 || o.Arrays != 4 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o2 := Options{MultiRowActivation: true}.withDefaults()
+	if o2.MRAFraction != 1 {
+		t.Errorf("MRA fraction default wrong: %+v", o2)
+	}
+	if MapperNaive.String() == MapperOptimized.String() {
+		t.Error("mapper names collide")
+	}
+}
+
+func TestCostParallelBoundedBySerial(t *testing.T) {
+	// A kernel mapped across several small arrays: the parallel makespan
+	// must not exceed the serial sum and must agree on energy.
+	b := NewBuilder()
+	b.DisableCSE = true
+	for k := 0; k < 6; k++ {
+		x := b.Input(fmt.Sprintf("a%d", k))
+		y := b.Input(fmt.Sprintf("b%d", k))
+		acc := b.And(x, y)
+		for i := 0; i < 10; i++ {
+			acc = b.Xor(acc, y)
+		}
+		b.Output(fmt.Sprintf("o%d", k), acc)
+	}
+	c, err := CompileGraph(b.Graph(), Options{Tech: ReRAM, ArraySize: 16, Arrays: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := c.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.CostParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.LatencyNS > serial.LatencyNS*(1+1e-9) {
+		t.Errorf("parallel latency %.1f exceeds serial %.1f", par.LatencyNS, serial.LatencyNS)
+	}
+	if par.EnergyPJ != serial.EnergyPJ {
+		t.Error("timing model changed energy")
+	}
+}
