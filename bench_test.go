@@ -61,6 +61,26 @@ func BenchmarkTable2Bitweaving(b *testing.B) { benchmarkTable2Workload(b, experi
 func BenchmarkTable2Sobel(b *testing.B)      { benchmarkTable2Workload(b, experiments.Sobel) }
 func BenchmarkTable2AES(b *testing.B)        { benchmarkTable2Workload(b, experiments.AES) }
 
+// BenchmarkTable2Campaign measures the full compile->map->cost grid from a
+// cold Runner, sequential vs fanned out over the worker pool (the
+// parallelism win scales with cores; on one core the variants tie).
+func BenchmarkTable2Campaign(b *testing.B) {
+	for _, variant := range []struct {
+		name        string
+		parallelism int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var rows []experiments.Table2Row
+			for i := 0; i < b.N; i++ {
+				s := experiments.QuickSetup()
+				s.Parallelism = variant.parallelism
+				rows, _ = experiments.Table2(experiments.NewRunner(s))
+			}
+			b.ReportMetric(float64(len(rows)), "cells")
+		})
+	}
+}
+
 // ---- Fig. 2b: decision-failure statistics ----
 
 func BenchmarkFig2bDecisionFailure(b *testing.B) {
@@ -320,13 +340,6 @@ func BenchmarkAblationMaxRows(b *testing.B) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // BenchmarkAblationRowRecycling measures the capacity effect of
 // liveness-driven row reuse on a column-constrained target.
 func BenchmarkAblationRowRecycling(b *testing.B) {
@@ -355,20 +368,63 @@ func BenchmarkAblationRowRecycling(b *testing.B) {
 }
 
 // BenchmarkMonteCarloValidation runs the fault-injection campaign that
-// cross-checks the analytical P_app model.
+// cross-checks the analytical P_app model, sequentially and sharded over
+// the worker pool (identical results either way; the wall-clock win
+// scales with cores).
 func BenchmarkMonteCarloValidation(b *testing.B) {
-	r := experiments.NewRunner(experiments.QuickSetup())
-	var mc experiments.MCResult
-	var err error
-	for i := 0; i < b.N; i++ {
-		mc, err = experiments.MonteCarlo(r, experiments.Bitweaving, device.STTMRAM, 128, 100, 3)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, variant := range []struct {
+		name        string
+		parallelism int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(variant.name, func(b *testing.B) {
+			s := experiments.QuickSetup()
+			s.Parallelism = variant.parallelism
+			r := experiments.NewRunner(s)
+			var mc experiments.MCResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				mc, err = experiments.MonteCarlo(r, experiments.Bitweaving, device.STTMRAM, 128, 100, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mc.AnalyticalPApp, "papp_model")
+			b.ReportMetric(mc.ObservedFaultRate, "papp_observed")
+			b.ReportMetric(mc.MaskingFactor(), "masking")
+		})
 	}
-	b.ReportMetric(mc.AnalyticalPApp, "papp_model")
-	b.ReportMetric(mc.ObservedFaultRate, "papp_observed")
-	b.ReportMetric(mc.MaskingFactor(), "masking")
+}
+
+// BenchmarkReliabilityAssess isolates the P_app assessment of a mapped
+// kernel. "cold" drops the P_DF memo every iteration (the pre-memo cost:
+// every class recomputes its lognormal-overlap integral); "warm" is the
+// steady state the campaign engine sees.
+func BenchmarkReliabilityAssess(b *testing.B) {
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 16, Segments: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := mapping.Optimized(g, mapping.Options{Target: layout.Target{Arrays: 4, Rows: 256, Cols: 256}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := device.ParamsFor(device.ReRAM)
+	for _, variant := range []struct {
+		name string
+		cold bool
+	}{{"cold", true}, {"warm", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if variant.cold {
+					device.ResetPDFCache()
+				}
+				if _, err := reliability.Assess(res.Program, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationParallelTiming compares the conservative serial timing

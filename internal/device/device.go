@@ -14,6 +14,8 @@ package device
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"sherlock/internal/logic"
 	"sherlock/internal/stats"
@@ -186,6 +188,12 @@ func (p Params) boundary(k, a, b int) float64 {
 //   - XOR/XNOR need window sensing: the parity decision must separate every
 //     adjacent pair of composite levels, so P_DF is the probability that
 //     any of the k boundaries misfires.
+//
+// The result is memoized per (parameter set, op, row count): the overlap
+// integrals behind each class are pure functions of the calibrated
+// parameters, and hot paths (reliability.Assess, the fault-injecting
+// simulator, cost-aware fusion ranking) ask for the same few classes
+// millions of times. The cache is safe for concurrent use.
 func (p Params) DecisionFailure(op logic.Op, k int) float64 {
 	if !op.IsSense() {
 		return 0
@@ -196,6 +204,44 @@ func (p Params) DecisionFailure(op logic.Op, k int) float64 {
 	if k > p.MaxRows {
 		panic(fmt.Sprintf("device: %d rows exceeds %v limit %d", k, p.Tech, p.MaxRows))
 	}
+	key := pdfKey{params: p, op: op, rows: k}
+	cache := pdfCache.Load()
+	if v, ok := cache.Load(key); ok {
+		return v.(float64)
+	}
+	v := p.decisionFailure(op, k)
+	cache.Store(key, v)
+	return v
+}
+
+// pdfKey identifies one memoized decision-failure class. Params is a flat
+// comparable struct, so custom parameter sets get their own cache entries
+// and never alias the calibrated technologies.
+type pdfKey struct {
+	params Params
+	op     logic.Op
+	rows   int
+}
+
+var pdfCache = func() *atomic.Pointer[sync.Map] {
+	p := new(atomic.Pointer[sync.Map])
+	p.Store(new(sync.Map))
+	return p
+}()
+
+// PDFCacheSize reports how many decision-failure classes are currently
+// memoized (test and benchmark introspection).
+func PDFCacheSize() int {
+	n := 0
+	pdfCache.Load().Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// ResetPDFCache drops all memoized decision-failure classes so cold-path
+// costs can be measured.
+func ResetPDFCache() { pdfCache.Store(new(sync.Map)) }
+
+func (p Params) decisionFailure(op logic.Op, k int) float64 {
 	switch op {
 	case logic.And, logic.Nand:
 		return p.boundary(k, k, k-1)

@@ -2,6 +2,7 @@ package device
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"sherlock/internal/logic"
@@ -173,4 +174,54 @@ func TestDecisionFailurePanics(t *testing.T) {
 			f()
 		}()
 	}
+}
+
+func TestDecisionFailureMemo(t *testing.T) {
+	ResetPDFCache()
+	p := ParamsFor(ReRAM)
+	cold := p.DecisionFailure(logic.Xor, 4)
+	if PDFCacheSize() != 1 {
+		t.Fatalf("cache size = %d after one class, want 1", PDFCacheSize())
+	}
+	if warm := p.DecisionFailure(logic.Xor, 4); warm != cold {
+		t.Fatalf("memoized value %g != computed %g", warm, cold)
+	}
+	// A custom parameter set must not alias the calibrated entry.
+	q := p
+	q.RelSDHRS *= 2
+	if v := q.DecisionFailure(logic.Xor, 4); v == cold {
+		t.Error("custom params hit the calibrated cache entry")
+	}
+	if PDFCacheSize() != 2 {
+		t.Errorf("cache size = %d, want 2", PDFCacheSize())
+	}
+	ResetPDFCache()
+	if PDFCacheSize() != 0 {
+		t.Errorf("cache size = %d after reset, want 0", PDFCacheSize())
+	}
+	if again := p.DecisionFailure(logic.Xor, 4); again != cold {
+		t.Errorf("recomputed value %g != original %g", again, cold)
+	}
+}
+
+func TestDecisionFailureMemoConcurrent(t *testing.T) {
+	// Many goroutines hitting the same classes; `go test -race` flags any
+	// unsynchronized cache access, and every caller must see one value.
+	ResetPDFCache()
+	p := ParamsFor(STTMRAM)
+	want := p.DecisionFailure(logic.And, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if got := p.DecisionFailure(logic.And, 4); got != want {
+					t.Errorf("concurrent P_DF %g != %g", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -9,10 +9,18 @@
 // (Table 1 pairs an n x n array with a 4n data width). Latency is
 // lane-independent, energy scales with the lane count, and reliability is
 // reported per lane (per result), matching Fig. 6's magnitudes.
+//
+// Campaigns run on a parallel engine: independent grid cells fan out over
+// a bounded worker pool (Setup.Parallelism) and land at precomputed
+// indices, Monte-Carlo trials shard into fixed seeded streams, and the
+// Runner memoizes singleflight-style — results are deterministic and
+// byte-identical for every worker count.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"sherlock/internal/arraymodel"
 	"sherlock/internal/device"
@@ -20,6 +28,7 @@ import (
 	"sherlock/internal/layout"
 	"sherlock/internal/logic"
 	"sherlock/internal/mapping"
+	"sherlock/internal/pool"
 	"sherlock/internal/sim"
 	"sherlock/internal/workloads/aes"
 	"sherlock/internal/workloads/bitweaving"
@@ -58,6 +67,14 @@ type Setup struct {
 	Arrays     int   // arrays available to the mapper per target
 	MaxRows    int   // arity bound for MRA >= 2 node substitution
 
+	// Parallelism bounds the worker pool that fans out independent grid
+	// cells (Table 2, Fig. 6, Fig. 7, Monte-Carlo shards). 0 selects
+	// runtime.GOMAXPROCS(0); 1 is fully sequential. Results are
+	// deterministic and identical for every setting (cells are
+	// index-addressed and Monte-Carlo streams are sharded by seed, not by
+	// worker).
+	Parallelism int
+
 	BW    bitweaving.Config
 	Sobel sobel.Config
 	AES   aes.Config
@@ -90,24 +107,50 @@ func QuickSetup() Setup {
 func Lanes(arraySize int) int { return 4 * arraySize }
 
 // Runner memoizes built graphs and mappings across experiments (the same
-// program is costed under several technologies).
+// program is costed under several technologies). It is safe for concurrent
+// use: memoization is singleflight-style — the first goroutine to request
+// a key builds it while later requesters block on the same entry, so no
+// graph or mapping is ever computed twice.
 type Runner struct {
 	setup  Setup
-	graphs map[graphKey]*dfg.Graph
-	mapped map[mapKey]*mapping.Result
+	mu     sync.Mutex
+	graphs map[graphKey]*entry[*dfg.Graph]
+	mapped map[mapKey]*entry[*mapping.Result]
+}
+
+// entry is one singleflight memoization slot.
+type entry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
 }
 
 // NewRunner builds a Runner for the setup.
 func NewRunner(s Setup) *Runner {
 	return &Runner{
 		setup:  s,
-		graphs: make(map[graphKey]*dfg.Graph),
-		mapped: make(map[mapKey]*mapping.Result),
+		graphs: make(map[graphKey]*entry[*dfg.Graph]),
+		mapped: make(map[mapKey]*entry[*mapping.Result]),
 	}
 }
 
 // Setup returns the campaign parameters.
 func (r *Runner) Setup() Setup { return r.setup }
+
+// Workers resolves the setup's Parallelism to a concrete worker count.
+func (r *Runner) Workers() int {
+	if r.setup.Parallelism > 0 {
+		return r.setup.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells evaluates fn over n independent grid cells on the campaign's
+// worker pool. Callers store each cell's result at its own index, keeping
+// the output in deterministic paper order whatever the interleaving.
+func (r *Runner) runCells(n int, fn func(i int) error) error {
+	return pool.Run(r.Workers(), n, fn)
+}
 
 type graphKey struct {
 	w    Workload
@@ -141,10 +184,26 @@ func (r *Runner) GraphCostAware(w Workload, substFraction float64, nand bool, te
 func fracPct(f float64) int { return int(f*100 + 0.5) }
 
 func (r *Runner) graph(key graphKey) (*dfg.Graph, error) {
-	if g, ok := r.graphs[key]; ok {
-		return g, nil
+	r.mu.Lock()
+	e, ok := r.graphs[key]
+	if !ok {
+		e = new(entry[*dfg.Graph])
+		r.graphs[key] = e
 	}
-	base, err := r.buildBase(key.w)
+	r.mu.Unlock()
+	// The build runs outside the map lock: other keys proceed in parallel,
+	// and duplicate requesters of this key block on the Once instead of
+	// redoing the work. A base-graph key (frac < 0) may be built reentrantly
+	// from a transformed key's builder — distinct entries, no deadlock.
+	e.once.Do(func() { e.val, e.err = r.buildGraph(key) })
+	return e.val, e.err
+}
+
+func (r *Runner) buildGraph(key graphKey) (*dfg.Graph, error) {
+	if key.frac < 0 {
+		return buildWorkload(key.w, r.setup)
+	}
+	base, err := r.graph(graphKey{w: key.w, frac: -1})
 	if err != nil {
 		return nil, err
 	}
@@ -184,32 +243,19 @@ func (r *Runner) graph(key graphKey) (*dfg.Graph, error) {
 	if key.nand {
 		g, _ = dfg.LowerToNAND(g)
 	}
-	r.graphs[key] = g
 	return g, nil
 }
 
-func (r *Runner) buildBase(w Workload) (*dfg.Graph, error) {
-	key := graphKey{w: w, frac: -1}
-	if g, ok := r.graphs[key]; ok {
-		return g, nil
-	}
-	var g *dfg.Graph
-	var err error
+func buildWorkload(w Workload, s Setup) (*dfg.Graph, error) {
 	switch w {
 	case Bitweaving:
-		g, err = bitweaving.Build(r.setup.BW)
+		return bitweaving.Build(s.BW)
 	case Sobel:
-		g, err = sobel.Build(r.setup.Sobel)
+		return sobel.Build(s.Sobel)
 	case AES:
-		g, err = aes.Build(r.setup.AES)
-	default:
-		err = fmt.Errorf("experiments: unknown workload %v", w)
+		return aes.Build(s.AES)
 	}
-	if err != nil {
-		return nil, err
-	}
-	r.graphs[key] = g
-	return g, nil
+	return nil, fmt.Errorf("experiments: unknown workload %v", w)
 }
 
 // Map compiles the (transformed) workload onto an arraySize x arraySize
@@ -225,9 +271,18 @@ func (r *Runner) MapCostAware(w Workload, substFraction float64, nand bool, tech
 
 func (r *Runner) mapGraph(gk graphKey, arraySize int, naive bool) (*mapping.Result, error) {
 	key := mapKey{g: gk, size: arraySize, naive: naive}
-	if res, ok := r.mapped[key]; ok {
-		return res, nil
+	r.mu.Lock()
+	e, ok := r.mapped[key]
+	if !ok {
+		e = new(entry[*mapping.Result])
+		r.mapped[key] = e
 	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = r.buildMapping(gk, arraySize, naive) })
+	return e.val, e.err
+}
+
+func (r *Runner) buildMapping(gk graphKey, arraySize int, naive bool) (*mapping.Result, error) {
 	g, err := r.graph(gk)
 	if err != nil {
 		return nil, err
@@ -246,7 +301,6 @@ func (r *Runner) mapGraph(gk graphKey, arraySize int, naive bool) (*mapping.Resu
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %v (size %d, naive=%v): %w", gk.w, arraySize, naive, err)
 	}
-	r.mapped[key] = res
 	return res, nil
 }
 

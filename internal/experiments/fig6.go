@@ -22,60 +22,75 @@ type Fig6Series struct {
 }
 
 // Fig6 sweeps the MRA fraction for the bitweaving kernel (the paper's
-// Fig. 6 subject) on the given array size.
+// Fig. 6 subject) on the given array size. Every (series, fraction) point
+// is independent and fans out over the campaign's worker pool; points land
+// at their precomputed (series, index) slot, so the curves come back in
+// paper order for any parallelism.
 func Fig6(r *Runner, arraySize int) ([]Fig6Series, error) {
 	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
 	var out []Fig6Series
 	for _, tech := range r.Setup().Techs {
+		for _, optimized := range []bool{false, true} {
+			out = append(out, Fig6Series{
+				Tech:      tech,
+				Optimized: optimized,
+				Workload:  Bitweaving,
+				Points:    make([]reliability.Point, len(fractions)),
+			})
+		}
+	}
+	n := len(out) * len(fractions)
+	err := r.runCells(n, func(i int) error {
+		series := &out[i/len(fractions)]
+		frac := fractions[i%len(fractions)]
+		tech := series.Tech
 		params := device.ParamsFor(tech)
 		nand := tech == device.STTMRAM
-		for _, optimized := range []bool{false, true} {
-			series := Fig6Series{Tech: tech, Optimized: optimized, Workload: Bitweaving}
-			for _, frac := range fractions {
-				// The optimized flow chooses *which* fusions to apply with
-				// the technology's decision-failure cost in the loop
-				// (Sec. 4.2); the naive flow fuses blindly.
-				var res *mapping.Result
-				var g *dfg.Graph
-				var err error
-				if optimized {
-					res, err = r.MapCostAware(Bitweaving, frac, nand, tech, arraySize, false)
-					if err == nil {
-						g, err = r.GraphCostAware(Bitweaving, frac, nand, tech)
-					}
-				} else {
-					res, err = r.Map(Bitweaving, frac, nand, arraySize, true)
-					if err == nil {
-						g, err = r.Graph(Bitweaving, frac, nand)
-					}
-				}
-				if err != nil {
-					return nil, err
-				}
-				cost, err := Cost(res, tech, arraySize)
-				if err != nil {
-					return nil, err
-				}
-				rep, err := reliability.Assess(res.Program, params)
-				if err != nil {
-					return nil, err
-				}
-				st := g.ComputeStats()
-				achieved := 0.0
-				if st.Ops > 0 {
-					achieved = 100 * float64(st.OpsWithArityOver2) / float64(st.Ops)
-				}
-				series.Points = append(series.Points, reliability.Point{
-					AllowedFraction:    frac,
-					AchievedMRAPercent: achieved,
-					LatencyNS:          cost.LatencyNS,
-					EnergyPJ:           cost.EnergyPJ,
-					PApp:               rep.PApp,
-					Instructions:       res.Stats.Instructions,
-				})
+		// The optimized flow chooses *which* fusions to apply with the
+		// technology's decision-failure cost in the loop (Sec. 4.2); the
+		// naive flow fuses blindly.
+		var res *mapping.Result
+		var g *dfg.Graph
+		var err error
+		if series.Optimized {
+			res, err = r.MapCostAware(Bitweaving, frac, nand, tech, arraySize, false)
+			if err == nil {
+				g, err = r.GraphCostAware(Bitweaving, frac, nand, tech)
 			}
-			out = append(out, series)
+		} else {
+			res, err = r.Map(Bitweaving, frac, nand, arraySize, true)
+			if err == nil {
+				g, err = r.Graph(Bitweaving, frac, nand)
+			}
 		}
+		if err != nil {
+			return err
+		}
+		cost, err := Cost(res, tech, arraySize)
+		if err != nil {
+			return err
+		}
+		rep, err := reliability.Assess(res.Program, params)
+		if err != nil {
+			return err
+		}
+		st := g.ComputeStats()
+		achieved := 0.0
+		if st.Ops > 0 {
+			achieved = 100 * float64(st.OpsWithArityOver2) / float64(st.Ops)
+		}
+		series.Points[i%len(fractions)] = reliability.Point{
+			AllowedFraction:    frac,
+			AchievedMRAPercent: achieved,
+			LatencyNS:          cost.LatencyNS,
+			EnergyPJ:           cost.EnergyPJ,
+			PApp:               rep.PApp,
+			Instructions:       res.Stats.Instructions,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

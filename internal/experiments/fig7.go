@@ -30,50 +30,67 @@ type Fig7Row struct {
 // SIMD lanes; each lane is one work item per kernel instance (a scanned
 // value for bitweaving, an output pixel for Sobel, an encrypted block for
 // AES).
+// Like the other grids, the (workload, tech, size) cells are independent:
+// they fan out over the campaign's worker pool and land at their
+// precomputed index, keeping paper order for any parallelism.
 func Fig7(r *Runner, sizes []int) ([]Fig7Row, error) {
 	h := cpu.DefaultHierarchy()
-	var rows []Fig7Row
+	type cell struct {
+		w    Workload
+		tech device.Technology
+		size int
+	}
+	var cells []cell
 	for _, w := range Workloads() {
 		for _, tech := range r.Setup().Techs {
 			for _, size := range sizes {
-				res, err := r.Map(w, 1.0, false, size, false)
-				if err != nil {
-					return nil, err
-				}
-				cost, err := Cost(res, tech, size)
-				if err != nil {
-					return nil, err
-				}
-				lanes := Lanes(size)
-				var elements int
-				var cpuCost cpu.Cost
-				switch w {
-				case Bitweaving:
-					elements = r.Setup().BW.Segments * lanes
-					cpuCost = cpu.RunBitweaving(h, elements, r.Setup().BW.Bits)
-				case Sobel:
-					elements = r.Setup().Sobel.TileW * r.Setup().Sobel.TileH * lanes
-					dim := int(math.Sqrt(float64(elements))) + 3
-					cpuCost = cpu.RunSobel(h, dim, dim)
-				case AES:
-					elements = lanes
-					st := res.Graph.ComputeStats()
-					cpuCost = cpu.RunAES(h, elements, st.Ops, st.Operands)
-				}
-				row := Fig7Row{
-					Workload:  w,
-					Tech:      tech,
-					ArraySize: size,
-					Elements:  elements,
-					CIMEDP:    cost.EDP(),
-					CPUEDP:    cpuCost.EDP(),
-				}
-				if row.CIMEDP > 0 {
-					row.EDPGain = row.CPUEDP / row.CIMEDP
-				}
-				rows = append(rows, row)
+				cells = append(cells, cell{w, tech, size})
 			}
 		}
+	}
+	rows := make([]Fig7Row, len(cells))
+	err := r.runCells(len(cells), func(i int) error {
+		w, tech, size := cells[i].w, cells[i].tech, cells[i].size
+		res, err := r.Map(w, 1.0, false, size, false)
+		if err != nil {
+			return err
+		}
+		cost, err := Cost(res, tech, size)
+		if err != nil {
+			return err
+		}
+		lanes := Lanes(size)
+		var elements int
+		var cpuCost cpu.Cost
+		switch w {
+		case Bitweaving:
+			elements = r.Setup().BW.Segments * lanes
+			cpuCost = cpu.RunBitweaving(h, elements, r.Setup().BW.Bits)
+		case Sobel:
+			elements = r.Setup().Sobel.TileW * r.Setup().Sobel.TileH * lanes
+			dim := int(math.Sqrt(float64(elements))) + 3
+			cpuCost = cpu.RunSobel(h, dim, dim)
+		case AES:
+			elements = lanes
+			st := res.Graph.ComputeStats()
+			cpuCost = cpu.RunAES(h, elements, st.Ops, st.Operands)
+		}
+		row := Fig7Row{
+			Workload:  w,
+			Tech:      tech,
+			ArraySize: size,
+			Elements:  elements,
+			CIMEDP:    cost.EDP(),
+			CPUEDP:    cpuCost.EDP(),
+		}
+		if row.CIMEDP > 0 {
+			row.EDPGain = row.CPUEDP / row.CIMEDP
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"sherlock/internal/device"
 	"sherlock/internal/dfg"
+	"sherlock/internal/mapping"
 	"sherlock/internal/reliability"
 	"sherlock/internal/sim"
 )
@@ -42,9 +43,25 @@ func (m MCResult) MaskingFactor() float64 {
 	return 1 - m.ObservedErrorRate/m.ObservedFaultRate
 }
 
+// mcShards fixes how many independent random streams a Monte-Carlo
+// campaign splits into. The count is a constant — NOT the worker count —
+// so the drawn samples, and therefore the merged result, are identical for
+// every Parallelism setting. Shard s seeds its stream with seed+s.
+const mcShards = 16
+
+// mcCounts accumulates one shard's tallies; shards merge by summation,
+// which is order-independent.
+type mcCounts struct {
+	faultRuns int
+	errorRuns int
+	faults    int
+}
+
 // MonteCarlo runs the fault-injection campaign for a workload on one
 // technology (NAND-lowered on STT-MRAM, as in Fig. 6) with fresh random
-// inputs every run.
+// inputs every run. The runs are sharded into mcShards deterministic
+// random streams that execute on the campaign's worker pool; for a given
+// seed and run count the result is byte-identical whatever Parallelism is.
 func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs int, seed int64) (MCResult, error) {
 	nand := tech == device.STTMRAM
 	res, err := r.Map(w, 1.0, nand, arraySize, false)
@@ -61,8 +78,44 @@ func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs i
 		return MCResult{}, err
 	}
 
+	shards := mcShards
+	if runs < shards {
+		shards = runs
+	}
+	counts := make([]mcCounts, shards)
+	err = r.runCells(shards, func(s int) error {
+		// Even split; the first runs%shards shards take one extra run.
+		shardRuns := runs / shards
+		if s < runs%shards {
+			shardRuns++
+		}
+		c, err := mcShard(res, g, params, rand.New(rand.NewSource(seed+int64(s))), shardRuns)
+		if err != nil {
+			return err
+		}
+		counts[s] = c
+		return nil
+	})
+	if err != nil {
+		return MCResult{}, err
+	}
+
 	out := MCResult{Tech: tech, Workload: w, Runs: runs, AnalyticalPApp: rep.PApp}
-	rng := rand.New(rand.NewSource(seed))
+	for _, c := range counts {
+		out.ObservedFaultRate += float64(c.faultRuns)
+		out.ObservedErrorRate += float64(c.errorRuns)
+		out.FaultsInjected += c.faults
+	}
+	out.ObservedFaultRate /= float64(runs)
+	out.ObservedErrorRate /= float64(runs)
+	return out, nil
+}
+
+// mcShard executes one shard's fault-injected runs on a private machine
+// and RNG stream; everything it shares (mapping, graph, params) is
+// read-only.
+func mcShard(res *mapping.Result, g *dfg.Graph, params device.Params, rng *rand.Rand, runs int) (mcCounts, error) {
+	var c mcCounts
 	target := res.Layout.Target()
 	names := g.InputNames()
 	for run := 0; run < runs; run++ {
@@ -72,35 +125,33 @@ func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs i
 		}
 		golden, err := dfg.EvaluateByName(g, inputs)
 		if err != nil {
-			return MCResult{}, err
+			return mcCounts{}, err
 		}
 		m := sim.NewMachine(target)
 		m.EnableFaultInjection(params, rng.Int63())
 		if err := m.Run(res.Program, inputs); err != nil {
-			return MCResult{}, err
+			return mcCounts{}, err
 		}
 		if m.FaultCount() > 0 {
-			out.ObservedFaultRate++
-			out.FaultsInjected += m.FaultCount()
+			c.faultRuns++
+			c.faults += m.FaultCount()
 		}
 		for _, o := range g.Outputs() {
 			p, err := res.OutputPlace(o)
 			if err != nil {
-				return MCResult{}, err
+				return mcCounts{}, err
 			}
 			v, err := m.ReadOut(p)
 			if err != nil {
-				return MCResult{}, err
+				return mcCounts{}, err
 			}
 			if v != golden[g.OutputName(o)] {
-				out.ObservedErrorRate++
+				c.errorRuns++
 				break
 			}
 		}
 	}
-	out.ObservedFaultRate /= float64(runs)
-	out.ObservedErrorRate /= float64(runs)
-	return out, nil
+	return c, nil
 }
 
 // RenderMC prints the validation rows.

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"sherlock/internal/device"
+)
+
+// runnerWith returns a fresh quick-setup runner at the given parallelism.
+func runnerWith(parallelism int) *Runner {
+	s := QuickSetup()
+	s.Parallelism = parallelism
+	return NewRunner(s)
+}
+
+// TestParallelCampaignDeterminism asserts the engine's core contract:
+// sequential and parallel campaigns produce identical result slices —
+// same order, same values — for identical setups and seeds.
+func TestParallelCampaignDeterminism(t *testing.T) {
+	seq := runnerWith(1)
+	par := runnerWith(8)
+
+	t2Seq, err := Table2(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2Par, err := Table2(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t2Seq, t2Par) {
+		t.Error("Table2: parallel rows differ from sequential")
+	}
+
+	f6Seq, err := Fig6(seq, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6Par, err := Fig6(par, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f6Seq, f6Par) {
+		t.Error("Fig6: parallel series differ from sequential")
+	}
+
+	f7Seq, err := Fig7(seq, []int{128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7Par, err := Fig7(par, []int{128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f7Seq, f7Par) {
+		t.Error("Fig7: parallel rows differ from sequential")
+	}
+
+	mcSeq, err := MonteCarlo(seq, Bitweaving, device.STTMRAM, 128, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcPar, err := MonteCarlo(par, Bitweaving, device.STTMRAM, 128, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mcSeq, mcPar) {
+		t.Errorf("MonteCarlo: parallel result %+v differs from sequential %+v", mcPar, mcSeq)
+	}
+}
+
+// TestMonteCarloShardSplit covers run counts that do not divide evenly
+// into shards, including fewer runs than shards.
+func TestMonteCarloShardSplit(t *testing.T) {
+	r := runnerWith(4)
+	for _, runs := range []int{1, 3, mcShards - 1, mcShards, mcShards + 5} {
+		mc, err := MonteCarlo(r, Bitweaving, device.STTMRAM, 128, runs, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Runs != runs {
+			t.Errorf("runs = %d, want %d", mc.Runs, runs)
+		}
+		if mc.ObservedFaultRate < 0 || mc.ObservedFaultRate > 1 {
+			t.Errorf("runs=%d: fault rate %f out of range", runs, mc.ObservedFaultRate)
+		}
+	}
+}
+
+// TestRunnerConcurrentAccess hammers one shared Runner from many
+// goroutines mixing all memoized entry points; `go test -race` turns any
+// latent race in Graph/Map into a failure. It also checks the
+// singleflight contract: every goroutine observes the same memoized
+// pointer per key.
+func TestRunnerConcurrentAccess(t *testing.T) {
+	r := NewRunner(QuickSetup())
+	const goroutines = 16
+
+	type got struct {
+		graphBlind, graphCost uintptr
+		mapNaive, mapOpt      uintptr
+	}
+	results := make([]got, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g1, err := r.Graph(Bitweaving, 1, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			g2, err := r.GraphCostAware(Bitweaving, 1, false, device.ReRAM)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m1, err := r.Map(Bitweaving, 1, false, 128, true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m2, err := r.MapCostAware(Bitweaving, 1, false, device.ReRAM, 128, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = got{
+				graphBlind: reflect.ValueOf(g1).Pointer(),
+				graphCost:  reflect.ValueOf(g2).Pointer(),
+				mapNaive:   reflect.ValueOf(m1).Pointer(),
+				mapOpt:     reflect.ValueOf(m2).Pointer(),
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d saw different memoized objects than goroutine 0", i)
+		}
+	}
+	if results[0].graphBlind == results[0].graphCost {
+		t.Error("cost-aware graph shares cache slot with blind graph")
+	}
+}
+
+// TestWorkersResolution pins the Parallelism -> worker-count mapping.
+func TestWorkersResolution(t *testing.T) {
+	if w := runnerWith(3).Workers(); w != 3 {
+		t.Errorf("Workers() = %d, want 3", w)
+	}
+	if w := runnerWith(0).Workers(); w < 1 {
+		t.Errorf("Workers() = %d, want >= 1", w)
+	}
+}

@@ -25,42 +25,61 @@ type Table2Row struct {
 	ColumnsUsed  int
 }
 
-// Table2 regenerates the full grid.
+// Table2 regenerates the full grid. Every cell of the
+// (tech x workload x size x mapper x MRA) product is independent, so cells
+// fan out over the campaign's worker pool and land at their precomputed
+// index — the returned slice is in paper order for any parallelism.
 func Table2(r *Runner) ([]Table2Row, error) {
-	var rows []Table2Row
+	type cell struct {
+		tech      device.Technology
+		w         Workload
+		size      int
+		optimized bool
+		multiRow  bool
+	}
+	var cells []cell
 	for _, tech := range r.Setup().Techs {
 		for _, w := range Workloads() {
 			for _, size := range r.Setup().ArraySizes {
 				for _, optimized := range []bool{false, true} {
 					for _, multiRow := range []bool{false, true} {
-						frac := 0.0
-						if multiRow {
-							frac = 1.0
-						}
-						res, err := r.Map(w, frac, false, size, !optimized)
-						if err != nil {
-							return nil, err
-						}
-						cost, err := Cost(res, tech, size)
-						if err != nil {
-							return nil, err
-						}
-						rows = append(rows, Table2Row{
-							Tech:         tech,
-							Workload:     w,
-							ArraySize:    size,
-							Optimized:    optimized,
-							MultiRow:     multiRow,
-							LatencyUS:    cost.LatencyUS(),
-							EnergyUJ:     cost.EnergyUJ(),
-							Instructions: res.Stats.Instructions,
-							Copies:       res.Stats.Copies,
-							ColumnsUsed:  res.Stats.ColumnsUsed,
-						})
+						cells = append(cells, cell{tech, w, size, optimized, multiRow})
 					}
 				}
 			}
 		}
+	}
+	rows := make([]Table2Row, len(cells))
+	err := r.runCells(len(cells), func(i int) error {
+		c := cells[i]
+		frac := 0.0
+		if c.multiRow {
+			frac = 1.0
+		}
+		res, err := r.Map(c.w, frac, false, c.size, !c.optimized)
+		if err != nil {
+			return err
+		}
+		cost, err := Cost(res, c.tech, c.size)
+		if err != nil {
+			return err
+		}
+		rows[i] = Table2Row{
+			Tech:         c.tech,
+			Workload:     c.w,
+			ArraySize:    c.size,
+			Optimized:    c.optimized,
+			MultiRow:     c.multiRow,
+			LatencyUS:    cost.LatencyUS(),
+			EnergyUJ:     cost.EnergyUJ(),
+			Instructions: res.Stats.Instructions,
+			Copies:       res.Stats.Copies,
+			ColumnsUsed:  res.Stats.ColumnsUsed,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

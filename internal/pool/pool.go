@@ -1,0 +1,73 @@
+// Package pool provides the bounded fan-out primitive behind the parallel
+// campaign engine: a fixed-size worker group that evaluates n independent
+// cells of a grid and preserves deterministic, index-addressed results.
+//
+// Callers write each cell's result into its own slot of a preallocated
+// slice, so the output order is the iteration order regardless of how the
+// cells interleave across workers.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run evaluates fn(i) for every i in [0, n) on up to workers goroutines.
+// workers <= 0 selects runtime.GOMAXPROCS(0); a single worker degenerates
+// to a plain loop with no goroutines. If any fn returns an error, the
+// remaining unstarted cells are skipped and the error of the
+// lowest-indexed failed cell that completed is returned.
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64 // next cell to claim
+		stop atomic.Bool  // set on first error; halts claiming
+
+		mu       sync.Mutex
+		errIdx   = n // lowest failed index seen so far
+		firstErr error
+
+		wg sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

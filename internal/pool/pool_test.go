@@ -1,0 +1,64 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllCells(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		hits := make([]atomic.Int32, n)
+		if err := Run(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: cell %d run %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Run(workers, 20, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestRunStopsAfterError(t *testing.T) {
+	// With one worker the failure at cell 3 must prevent every later cell.
+	var ran atomic.Int32
+	err := Run(1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d cells after sequential failure, want 4", got)
+	}
+}

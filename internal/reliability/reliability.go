@@ -6,7 +6,11 @@
 // where P_DFi is the decision-failure probability of the i-th column-level
 // sense decision. Decisions are grouped by (operation, activated-row-count)
 // class so that programs with millions of sense events evaluate in O(unique
-// classes).
+// classes), and each class's P_DF overlap integral is memoized inside
+// internal/device (keyed by parameter set, op and row count), so repeated
+// assessments of the same technology — the campaign engine assesses every
+// sweep point, and the fault-injecting simulator asks per instruction —
+// cost a lookup instead of an integral.
 package reliability
 
 import (

@@ -35,6 +35,7 @@ import (
 	"sherlock/internal/isa"
 	"sherlock/internal/layout"
 	"sherlock/internal/mapping"
+	"sherlock/internal/pool"
 	"sherlock/internal/reliability"
 	"sherlock/internal/sim"
 )
@@ -252,6 +253,26 @@ func (c *Compiled) Run(inputs map[string]bool) (map[string]bool, error) {
 // many faults were injected.
 func (c *Compiled) RunWithFaults(inputs map[string]bool, seed int64) (map[string]bool, int, error) {
 	return c.run(inputs, true, seed)
+}
+
+// RunBatch executes the program once per input assignment, fanning the
+// independent executions out over up to parallelism workers (0 selects
+// runtime.GOMAXPROCS(0)). Each execution gets its own simulator instance;
+// outputs come back in input order, identical to calling Run sequentially.
+func (c *Compiled) RunBatch(batch []map[string]bool, parallelism int) ([]map[string]bool, error) {
+	outs := make([]map[string]bool, len(batch))
+	err := pool.Run(parallelism, len(batch), func(i int) error {
+		o, err := c.Run(batch[i])
+		if err != nil {
+			return fmt.Errorf("sherlock: batch input %d: %w", i, err)
+		}
+		outs[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
 }
 
 func (c *Compiled) run(inputs map[string]bool, faults bool, seed int64) (map[string]bool, int, error) {

@@ -229,3 +229,54 @@ func TestCostParallelBoundedBySerial(t *testing.T) {
 		t.Error("timing model changed energy")
 	}
 }
+
+func TestRunBatchMatchesSequentialRun(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	batch := make([]map[string]bool, 32)
+	for i := range batch {
+		batch[i] = map[string]bool{
+			"a": rng.Intn(2) == 1, "b": rng.Intn(2) == 1, "c": rng.Intn(2) == 1,
+		}
+	}
+	for _, parallelism := range []int{1, 4, 0} {
+		outs, err := c.RunBatch(batch, parallelism)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		if len(outs) != len(batch) {
+			t.Fatalf("parallelism %d: %d outputs for %d inputs", parallelism, len(outs), len(batch))
+		}
+		for i, in := range batch {
+			want, err := c.Evaluate(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, w := range want {
+				if outs[i][name] != w {
+					t.Fatalf("parallelism %d input %d: %s = %v, want %v",
+						parallelism, i, name, outs[i][name], w)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBatchPropagatesError(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input 1 is missing a binding; the strict simulator must reject it
+	// and RunBatch must surface the failure.
+	batch := []map[string]bool{
+		{"a": true, "b": true, "c": false},
+		{"a": true},
+	}
+	if _, err := c.RunBatch(batch, 2); err == nil {
+		t.Fatal("no error for underspecified input")
+	}
+}
