@@ -8,6 +8,7 @@ package sherlock_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"sherlock"
@@ -367,6 +368,48 @@ func BenchmarkAblationRowRecycling(b *testing.B) {
 	}
 }
 
+// BenchmarkRunBatch measures facade-level batch simulation: one compiled
+// kernel, many independent input vectors through Compiled.RunBatch,
+// sequentially and fanned out over the worker pool. vectors_per_sec is the
+// headline throughput number.
+func BenchmarkRunBatch(b *testing.B) {
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 8, Segments: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := sherlock.CompileGraph(g, sherlock.Options{
+		Tech:      sherlock.ReRAM,
+		ArraySize: 128,
+		Arrays:    4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const vectors = 256
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]map[string]bool, vectors)
+	for i := range batch {
+		in := make(map[string]bool)
+		for _, id := range c.Graph.Inputs() {
+			in[c.Graph.Name(id)] = rng.Intn(2) == 1
+		}
+		batch[i] = in
+	}
+	for _, variant := range []struct {
+		name        string
+		parallelism int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunBatch(batch, variant.parallelism); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(vectors)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+		})
+	}
+}
+
 // BenchmarkMonteCarloValidation runs the fault-injection campaign that
 // cross-checks the analytical P_app model, sequentially and sharded over
 // the worker pool (identical results either way; the wall-clock win
@@ -383,7 +426,7 @@ func BenchmarkMonteCarloValidation(b *testing.B) {
 			var mc experiments.MCResult
 			var err error
 			for i := 0; i < b.N; i++ {
-				mc, err = experiments.MonteCarlo(r, experiments.Bitweaving, device.STTMRAM, 128, 100, 3)
+				mc, err = experiments.MonteCarlo(r, experiments.Bitweaving, device.STTMRAM, 128, 1024, 3)
 				if err != nil {
 					b.Fatal(err)
 				}

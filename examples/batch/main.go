@@ -1,13 +1,16 @@
 // Batch: compile a kernel once and fan many independent executions out
 // over the worker pool with Compiled.RunBatch — the facade-level face of
-// the parallel campaign engine. Outputs come back in input order,
-// identical to running each input sequentially.
+// the parallel campaign engine. Inputs pack 64-per-word onto the SWAR
+// lane simulator (one program pass covers 64 vectors), and lane groups
+// fan out over the workers. Outputs come back in input order, identical
+// to running each input sequentially.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"sherlock"
 )
@@ -30,19 +33,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 16 independent input vectors; each executes on its own simulator
-	// instance, up to GOMAXPROCS at a time (parallelism 0).
+	// 200 independent input vectors: four 64-wide lane groups (the last
+	// one partial), up to GOMAXPROCS groups at a time (parallelism 0).
 	rng := rand.New(rand.NewSource(42))
-	batch := make([]map[string]bool, 16)
+	batch := make([]map[string]bool, 200)
 	for i := range batch {
 		batch[i] = map[string]bool{
 			"v": rng.Intn(2) == 1, "m": rng.Intn(2) == 1, "cin": rng.Intn(2) == 1,
 		}
 	}
+	start := time.Now()
 	outs, err := compiled.RunBatch(batch, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	elapsed := time.Since(start)
 
 	b2i := func(b bool) int {
 		if b {
@@ -50,6 +55,13 @@ func main() {
 		}
 		return 0
 	}
+	fmt.Printf("simulated %d vectors in %v (%.0f vectors/sec)\n\n",
+		len(batch), elapsed.Round(time.Microsecond),
+		float64(len(batch))/elapsed.Seconds())
+
+	// Check every vector against the golden DFG evaluation; print the
+	// first 16.
+	mismatches := 0
 	fmt.Println(" #  v m cin | sum cout | golden")
 	for i, in := range batch {
 		golden, err := compiled.Evaluate(in)
@@ -59,9 +71,13 @@ func main() {
 		match := "ok"
 		if outs[i]["sum"] != golden["sum"] || outs[i]["cout"] != golden["cout"] {
 			match = "MISMATCH"
+			mismatches++
 		}
-		fmt.Printf("%2d  %d %d  %d  |  %d    %d   | %s\n",
-			i, b2i(in["v"]), b2i(in["m"]), b2i(in["cin"]),
-			b2i(outs[i]["sum"]), b2i(outs[i]["cout"]), match)
+		if i < 16 {
+			fmt.Printf("%2d  %d %d  %d  |  %d    %d   | %s\n",
+				i, b2i(in["v"]), b2i(in["m"]), b2i(in["cin"]),
+				b2i(outs[i]["sum"]), b2i(outs[i]["cout"]), match)
+		}
 	}
+	fmt.Printf("... %d more vectors, %d mismatches\n", len(batch)-16, mismatches)
 }

@@ -100,6 +100,31 @@ func (v *Vector) Uint64() uint64 {
 	return v.words[0] & maskLow(min(v.n, wordBits))
 }
 
+// Words returns how many 64-bit words back the vector.
+func (v *Vector) Words() int { return len(v.words) }
+
+// Word returns the i-th backing word (bits 64i .. 64i+63, zero-padded past
+// the vector's end). Out-of-range word indices read as zero, so callers can
+// iterate lane blocks without bounds bookkeeping.
+func (v *Vector) Word(i int) uint64 {
+	if i < 0 || i >= len(v.words) {
+		return 0
+	}
+	return v.words[i]
+}
+
+// SetWord stores w as the i-th backing word; bits beyond the vector's
+// length are dropped. It panics when the word index is outside the vector.
+func (v *Vector) SetWord(i int, w uint64) {
+	if i < 0 || i >= len(v.words) {
+		panic(fmt.Sprintf("bitvec: word index %d out of range [0,%d)", i, len(v.words)))
+	}
+	v.words[i] = w
+	if i == len(v.words)-1 {
+		v.trim()
+	}
+}
+
 // OnesCount returns the number of set bits.
 func (v *Vector) OnesCount() int {
 	total := 0

@@ -196,3 +196,37 @@ func TestQuickFoldMatchesBitwise(t *testing.T) {
 		}
 	}
 }
+
+// TestWordAccess covers the word-granular view used by the SWAR
+// evaluator: Word/SetWord round-trip, out-of-range reads return zero, and
+// SetWord on the final partial word drops bits past the vector length.
+func TestWordAccess(t *testing.T) {
+	v := New(70) // 2 words, final word 6 bits wide
+	if v.Words() != 2 {
+		t.Fatalf("Words() = %d, want 2", v.Words())
+	}
+	const pattern = uint64(0xDEADBEEFDEADBEEF)
+	v.SetWord(0, pattern)
+	v.SetWord(1, ^uint64(0)) // bits 6..63 must be trimmed
+	if got := v.Word(1); got != 0x3F {
+		t.Fatalf("partial word = %#x, want 0x3f", got)
+	}
+	if v.Word(0) != pattern {
+		t.Fatal("full word round trip failed")
+	}
+	if v.Word(5) != 0 {
+		t.Fatal("out-of-range Word not zero")
+	}
+	for i := 0; i < 70; i++ {
+		want := i < 64 && pattern>>uint(i)&1 == 1 || i >= 64
+		if v.Get(i) != want {
+			t.Fatalf("bit %d = %v after SetWord, want %v", i, v.Get(i), want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetWord out of range did not panic")
+		}
+	}()
+	v.SetWord(2, 1)
+}

@@ -55,9 +55,42 @@ func EvaluateByName(g *Graph, inputs map[string]bool) (map[string]bool, error) {
 	return out, nil
 }
 
+// EvaluateWords runs the kernel over 64 independent lanes at once: bit l of
+// every input word is one input assignment, and bit l of each output word is
+// that lane's kernel output — the golden model's SWAR form. Lanes the caller
+// does not use carry garbage in the inverting ops' outputs; mask the result.
+func EvaluateWords(g *Graph, inputs map[string]uint64) (map[string]uint64, error) {
+	vals := make(map[NodeID]uint64, len(g.nodes))
+	for _, in := range g.inputs {
+		v, ok := inputs[g.Name(in)]
+		if !ok {
+			return nil, fmt.Errorf("dfg: missing value for input %q", g.Name(in))
+		}
+		vals[in] = v
+	}
+	words := make([]uint64, 0, 8)
+	for _, op := range g.TopoOps() {
+		words = words[:0]
+		for _, in := range g.opInputs[op] {
+			v, ok := vals[in]
+			if !ok {
+				return nil, fmt.Errorf("dfg: operand %q used before defined", g.Name(in))
+			}
+			words = append(words, v)
+		}
+		vals[g.opOutput[op]] = g.nodes[op].op.EvalWords(words...)
+	}
+	out := make(map[string]uint64, len(g.outputs))
+	for _, o := range g.outputs {
+		out[g.OutputName(o)] = vals[o]
+	}
+	return out, nil
+}
+
 // EvaluateVectors runs the kernel over whole bit-vectors at once (the bulk
 // dimension): input vectors must share one length, and each output vector's
-// bit i is the kernel applied to bit i of every input.
+// bit i is the kernel applied to bit i of every input. Internally it packs
+// 64 lanes per word and evaluates one EvaluateWords pass per word.
 func EvaluateVectors(g *Graph, inputs map[string]*bitvec.Vector) (map[string]*bitvec.Vector, error) {
 	n := -1
 	for name, v := range inputs {
@@ -74,17 +107,17 @@ func EvaluateVectors(g *Graph, inputs map[string]*bitvec.Vector) (map[string]*bi
 	for _, o := range g.outputs {
 		outs[g.OutputName(o)] = bitvec.New(n)
 	}
-	scalarIn := make(map[string]bool, len(inputs))
-	for i := 0; i < n; i++ {
+	wordIn := make(map[string]uint64, len(inputs))
+	for wi := 0; wi*64 < n; wi++ {
 		for name, v := range inputs {
-			scalarIn[name] = v.Get(i)
+			wordIn[name] = v.Word(wi)
 		}
-		res, err := EvaluateByName(g, scalarIn)
+		res, err := EvaluateWords(g, wordIn)
 		if err != nil {
 			return nil, err
 		}
-		for name, b := range res {
-			outs[name].Set(i, b)
+		for name, w := range res {
+			outs[name].SetWord(wi, w) // SetWord drops bits past the length
 		}
 	}
 	return outs, nil

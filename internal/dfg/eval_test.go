@@ -104,3 +104,46 @@ func TestPruneDeadKeepsAliases(t *testing.T) {
 		t.Error("alias lost through pruning")
 	}
 }
+
+// TestEvaluateWordsMatchesScalar checks the word-parallel evaluator lane
+// by lane against the scalar Evaluate path.
+func TestEvaluateWordsMatchesScalar(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+	b.Output("p", b.Or(b.Nand(x, y), z))
+	b.Output("q", b.Xor(b.Not(x), b.And(y, z)))
+	g := b.Graph()
+
+	_, _, _ = x, y, z
+	words := map[string]uint64{"x": 0xAAAA5555F0F01234, "y": 0x123456789ABCDEF0, "z": ^uint64(0)}
+	got, err := EvaluateWords(g, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 64; l++ {
+		in := map[string]bool{
+			"x": words["x"]>>uint(l)&1 == 1,
+			"y": words["y"]>>uint(l)&1 == 1,
+			"z": words["z"]>>uint(l)&1 == 1,
+		}
+		want, err := EvaluateByName(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range want {
+			if got[name]>>uint(l)&1 == 1 != w {
+				t.Fatalf("lane %d output %s: word path %v, scalar %v",
+					l, name, !w, w)
+			}
+		}
+	}
+}
+
+func TestEvaluateWordsMissingInput(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Input("x"), b.Input("y")
+	b.Output("o", b.And(x, y))
+	if _, err := EvaluateWords(b.Graph(), map[string]uint64{"x": 1}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

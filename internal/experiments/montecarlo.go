@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"strings"
 
@@ -60,7 +61,9 @@ type mcCounts struct {
 // MonteCarlo runs the fault-injection campaign for a workload on one
 // technology (NAND-lowered on STT-MRAM, as in Fig. 6) with fresh random
 // inputs every run. The runs are sharded into mcShards deterministic
-// random streams that execute on the campaign's worker pool; for a given
+// random streams that execute on the campaign's worker pool, and each
+// shard packs its runs 64-per-word onto the SWAR lane machine (one
+// program pass per 64 runs); shards own fixed lane ranges, so for a given
 // seed and run count the result is byte-identical whatever Parallelism is.
 func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs int, seed int64) (MCResult, error) {
 	nand := tech == device.STTMRAM
@@ -111,45 +114,69 @@ func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs i
 	return out, nil
 }
 
-// mcShard executes one shard's fault-injected runs on a private machine
-// and RNG stream; everything it shares (mapping, graph, params) is
-// read-only.
+// mcShard executes one shard's fault-injected runs word-parallel on a
+// private lane machine and RNG stream: up to sim.WordLanes (64) runs pack
+// into the bit-lanes of one SWAR program pass, fault injection draws from
+// the geometric-skip sampler (one RNG consultation per expected flip
+// instead of one per sense decision), and the golden reference evaluates
+// lane-wise through dfg.EvaluateWords. Blocks execute sequentially within
+// the shard, so for a given stream the tallies are deterministic whatever
+// the campaign's worker count. Everything shared (mapping, graph, params)
+// is read-only.
 func mcShard(res *mapping.Result, g *dfg.Graph, params device.Params, rng *rand.Rand, runs int) (mcCounts, error) {
 	var c mcCounts
-	target := res.Layout.Target()
 	names := g.InputNames()
-	for run := 0; run < runs; run++ {
-		inputs := make(map[string]bool, len(names))
-		for _, n := range names {
-			inputs[n] = rng.Intn(2) == 1
+	var m *sim.LaneMachine
+	words := make(map[string]uint64, len(names))
+	for start := 0; start < runs; start += sim.WordLanes {
+		n := sim.WordLanes
+		if start+n > runs {
+			n = runs - start
 		}
-		golden, err := dfg.EvaluateByName(g, inputs)
+		// Lane l is run start+l; inputs draw run-major, matching the
+		// scalar path's per-run draw order.
+		for _, nm := range names {
+			words[nm] = 0
+		}
+		for l := 0; l < n; l++ {
+			for _, nm := range names {
+				if rng.Intn(2) == 1 {
+					words[nm] |= uint64(1) << uint(l)
+				}
+			}
+		}
+		golden, err := dfg.EvaluateWords(g, words)
 		if err != nil {
 			return mcCounts{}, err
 		}
-		m := sim.NewMachine(target)
+		if m == nil {
+			m = sim.NewLaneMachine(res.Layout.Target(), n)
+		} else {
+			m.Reset(n)
+		}
 		m.EnableFaultInjection(params, rng.Int63())
-		if err := m.Run(res.Program, inputs); err != nil {
+		if err := m.Run(res.Program, words); err != nil {
 			return mcCounts{}, err
 		}
-		if m.FaultCount() > 0 {
-			c.faultRuns++
-			c.faults += m.FaultCount()
+		for l := 0; l < n; l++ {
+			if f := m.FaultCount(l); f > 0 {
+				c.faultRuns++
+				c.faults += f
+			}
 		}
+		var errMask uint64
 		for _, o := range g.Outputs() {
 			p, err := res.OutputPlace(o)
 			if err != nil {
 				return mcCounts{}, err
 			}
-			v, err := m.ReadOut(p)
+			w, err := m.ReadOutWord(p)
 			if err != nil {
 				return mcCounts{}, err
 			}
-			if v != golden[g.OutputName(o)] {
-				c.errorRuns++
-				break
-			}
+			errMask |= (w ^ golden[g.OutputName(o)]) & m.Mask()
 		}
+		c.errorRuns += bits.OnesCount64(errMask)
 	}
 	return c, nil
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"sherlock/internal/device"
+)
+
+// TestMonteCarloVectorizedDeterminism pins the SWAR campaign's determinism
+// contract: shards own fixed seed streams and fixed lane ranges, so one
+// seed produces byte-identical results — same fault counts, same observed
+// rates — at every Parallelism. The run count is chosen so shards get
+// uneven shares and the last lane block of each shard is a partial word.
+func TestMonteCarloVectorizedDeterminism(t *testing.T) {
+	const runs = 333
+	var base MCResult
+	for i, parallelism := range []int{1, 4, 16} {
+		mc, err := MonteCarlo(runnerWith(parallelism), Bitweaving, device.STTMRAM, 128, runs, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = mc
+			if mc.FaultsInjected == 0 {
+				t.Log("no faults at this P_DF; determinism still checked")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(mc, base) {
+			t.Errorf("Parallelism %d: %+v differs from Parallelism 1: %+v", parallelism, mc, base)
+		}
+	}
+}
+
+// TestMonteCarloRepeatable asserts re-running the same campaign on the
+// same runner gives the same result (lane machines and RNG streams are
+// per-call, never reused across campaigns).
+func TestMonteCarloRepeatable(t *testing.T) {
+	r := runnerWith(4)
+	a, err := MonteCarlo(r, Bitweaving, device.STTMRAM, 128, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(r, Bitweaving, device.STTMRAM, 128, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("second campaign %+v differs from first %+v", b, a)
+	}
+}

@@ -153,6 +153,53 @@ func (o Op) Eval(bits ...bool) bool {
 	panic(fmt.Sprintf("logic: Eval of invalid op %v", o))
 }
 
+// EvalWords is the SWAR form of Eval: bit l of the result is o applied to
+// bit l of every operand word, so one call evaluates 64 independent lanes.
+// Arity rules match Eval. Callers holding fewer than 64 live lanes mask the
+// result themselves (the inverting forms set the dead high bits).
+func (o Op) EvalWords(words ...uint64) uint64 {
+	switch o {
+	case Not:
+		requireArity(o, len(words), 1)
+		return ^words[0]
+	case Copy:
+		requireArity(o, len(words), 1)
+		return words[0]
+	}
+	if len(words) < 2 {
+		panic(fmt.Sprintf("logic: %v requires at least 2 operands, got %d", o, len(words)))
+	}
+	var acc uint64
+	switch o {
+	case And, Nand:
+		acc = ^uint64(0)
+		for _, w := range words {
+			acc &= w
+		}
+		if o == Nand {
+			acc = ^acc
+		}
+		return acc
+	case Or, Nor:
+		for _, w := range words {
+			acc |= w
+		}
+		if o == Nor {
+			acc = ^acc
+		}
+		return acc
+	case Xor, Xnor:
+		for _, w := range words {
+			acc ^= w
+		}
+		if o == Xnor {
+			acc = ^acc
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("logic: EvalWords of invalid op %v", o))
+}
+
 func requireArity(o Op, got, want int) {
 	if got != want {
 		panic(fmt.Sprintf("logic: %v requires exactly %d operand, got %d", o, want, got))

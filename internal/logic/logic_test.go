@@ -156,3 +156,46 @@ func TestSenseClassification(t *testing.T) {
 		t.Error("NAND must not be flattenable")
 	}
 }
+
+// TestEvalWordsMatchesEval checks the word-wide fold against the scalar
+// truth table on every bit position: packing random operand bits into
+// words and evaluating once must equal 64 scalar evaluations.
+func TestEvalWordsMatchesEval(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		for _, op := range SenseOps() {
+			w := op.EvalWords(a, b, c)
+			for l := 0; l < 64; l++ {
+				sa, sb, sc := a>>uint(l)&1 == 1, b>>uint(l)&1 == 1, c>>uint(l)&1 == 1
+				if w>>uint(l)&1 == 1 != op.Eval(sa, sb, sc) {
+					return false
+				}
+			}
+		}
+		if Not.EvalWords(a) != ^a || Copy.EvalWords(a) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalWordsArityPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"sense op with one operand", func() { And.EvalWords(1) }},
+		{"unary op with two operands", func() { Not.EvalWords(1, 2) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}

@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"sherlock/internal/device"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/logic"
+)
+
+// WordLanes is the SWAR width of the lane machine: how many independent
+// input vectors one LaneMachine pass executes.
+const WordLanes = 64
+
+// LaneMachine is the word-parallel functional CIM simulator: the SWAR
+// (SIMD-within-a-register) counterpart of Machine. Where Machine stores one
+// bool per cell and executes the program for a single input vector, the
+// lane machine packs up to 64 independent input vectors into the bits of a
+// uint64 per cell and evaluates every CIM read, shift, write and readout
+// with word-wide bitwise logic — one program pass per 64 vectors. This is
+// the paper's own bulk-bitwise premise applied to the simulator itself:
+// scouting ops are associative per lane, so AND/OR/XOR folds over row words
+// compute all lanes' sense decisions at once.
+//
+// Bit l of every word belongs to lane l. The machine is bit-for-bit
+// equivalent to running Machine once per lane, including strict-mode
+// undefined-cell errors (the program is lane-uniform, so definedness is
+// identical across lanes). Fault injection draws from a geometric-skip
+// (binomial-thinning) sampler: decisions of one (op, rows) class form a
+// stream, and the RNG is consulted once per injected flip instead of once
+// per sense decision — at the paper's tiny P_DF values that is orders of
+// magnitude fewer draws, with the exact same per-decision Bernoulli(P_DF)
+// marginal distribution.
+type LaneMachine struct {
+	target layout.Target
+	lanes  int
+	mask   uint64 // low `lanes` bits set
+
+	cells   [][][]uint64 // [array][row][col], bit l = lane l's cell value
+	defined [][][]uint64 // definedness masks (0 or mask, lane-uniform)
+	defBack []uint64     // contiguous backing of defined, for fast Reset
+
+	rowbuf [][]uint64 // [array][col]
+	bufDef [][]uint64
+
+	faults     *laneFaultModel
+	flipCounts []int // per-lane injected-fault tallies
+
+	shiftBuf, shiftDef []uint64 // stepShift double buffers
+}
+
+// NewLaneMachine builds a zeroed lane machine for the target with the given
+// number of active lanes (1..WordLanes). No cell is "defined" until
+// written.
+func NewLaneMachine(t layout.Target, lanes int) *LaneMachine {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	m := &LaneMachine{target: t, flipCounts: make([]int, WordLanes)}
+	m.cells = make([][][]uint64, t.Arrays)
+	m.defined = make([][][]uint64, t.Arrays)
+	m.rowbuf = make([][]uint64, t.Arrays)
+	m.bufDef = make([][]uint64, t.Arrays)
+	cellBack := make([]uint64, t.Arrays*t.Rows*t.Cols)
+	m.defBack = make([]uint64, t.Arrays*t.Rows*t.Cols)
+	for a := 0; a < t.Arrays; a++ {
+		m.cells[a] = make([][]uint64, t.Rows)
+		m.defined[a] = make([][]uint64, t.Rows)
+		for r := 0; r < t.Rows; r++ {
+			off := (a*t.Rows + r) * t.Cols
+			m.cells[a][r] = cellBack[off : off+t.Cols]
+			m.defined[a][r] = m.defBack[off : off+t.Cols]
+		}
+		m.rowbuf[a] = make([]uint64, t.Cols)
+		m.bufDef[a] = make([]uint64, t.Cols)
+	}
+	m.shiftBuf = make([]uint64, t.Cols)
+	m.shiftDef = make([]uint64, t.Cols)
+	m.setLanes(lanes)
+	return m
+}
+
+func (m *LaneMachine) setLanes(lanes int) {
+	if lanes < 1 || lanes > WordLanes {
+		panic(fmt.Sprintf("sim: lane count %d outside [1,%d]", lanes, WordLanes))
+	}
+	m.lanes = lanes
+	if lanes == WordLanes {
+		m.mask = ^uint64(0)
+	} else {
+		m.mask = (uint64(1) << uint(lanes)) - 1
+	}
+}
+
+// Reset returns the machine to its post-construction state with a new lane
+// count, reusing every allocation: definedness and fault state clear, cell
+// payloads stay (they are unreadable until redefined).
+func (m *LaneMachine) Reset(lanes int) {
+	m.setLanes(lanes)
+	clear(m.defBack)
+	for a := range m.bufDef {
+		clear(m.bufDef[a])
+	}
+	clear(m.flipCounts)
+	m.faults = nil
+}
+
+// Lanes returns the number of active lanes.
+func (m *LaneMachine) Lanes() int { return m.lanes }
+
+// Mask returns the active-lane mask (bit l set iff lane l is live).
+func (m *LaneMachine) Mask() uint64 { return m.mask }
+
+// Target returns the machine's fabric description.
+func (m *LaneMachine) Target() layout.Target { return m.target }
+
+// EnableFaultInjection makes every sense decision of every lane flip with
+// its decision-failure probability under the given technology parameters.
+// The stream of decisions is ordered (instruction, column, lane), so a
+// given seed yields one deterministic fault pattern.
+func (m *LaneMachine) EnableFaultInjection(p device.Params, seed int64) {
+	m.faults = &laneFaultModel{
+		params: p,
+		rng:    rand.New(rand.NewSource(seed)),
+		skip:   make(map[isa.SenseClass]int64),
+	}
+}
+
+// FaultCount reports how many sense decisions were flipped in one lane.
+func (m *LaneMachine) FaultCount(lane int) int {
+	if lane < 0 || lane >= m.lanes {
+		panic(fmt.Sprintf("sim: lane %d outside [0,%d)", lane, m.lanes))
+	}
+	return m.flipCounts[lane]
+}
+
+// TotalFaults reports the flips injected across all lanes.
+func (m *LaneMachine) TotalFaults() int {
+	total := 0
+	for _, c := range m.flipCounts {
+		total += c
+	}
+	return total
+}
+
+func (m *LaneMachine) checkPlace(array, col, row int) error {
+	if array < 0 || array >= m.target.Arrays {
+		return fmt.Errorf("sim: array %d outside target", array)
+	}
+	if col < 0 || col >= m.target.Cols {
+		return fmt.Errorf("sim: column %d outside target", col)
+	}
+	if row < 0 || row >= m.target.Rows {
+		return fmt.Errorf("sim: row %d outside target", row)
+	}
+	return nil
+}
+
+// Run executes the program from the machine's current state for all lanes
+// at once. Host-write bindings resolve against input words (bit l = lane
+// l's value). Execution stops at the first error, identifying the
+// offending instruction; because the program is lane-uniform, an error in
+// one lane is an error in all.
+func (m *LaneMachine) Run(p isa.Program, inputs map[string]uint64) error {
+	for i, in := range p {
+		if err := m.step(in, inputs); err != nil {
+			return fmt.Errorf("sim: instruction %d (%s): %w", i, in, err)
+		}
+	}
+	return nil
+}
+
+func (m *LaneMachine) step(in isa.Instruction, inputs map[string]uint64) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	switch in.Kind {
+	case isa.KindRead:
+		return m.stepRead(in)
+	case isa.KindWrite:
+		return m.stepWrite(in, inputs)
+	case isa.KindShift:
+		return m.stepShift(in)
+	case isa.KindNot:
+		return m.stepNot(in)
+	}
+	return fmt.Errorf("unknown kind %v", in.Kind)
+}
+
+func (m *LaneMachine) stepRead(in isa.Instruction) error {
+	a := in.Array
+	if a >= m.target.Arrays {
+		return fmt.Errorf("array %d outside target", a)
+	}
+	for _, r := range in.Rows {
+		if err := m.checkPlace(a, 0, r); err != nil {
+			return err
+		}
+	}
+	cim := in.IsCIMRead()
+	for i, c := range in.Cols {
+		if err := m.checkPlace(a, c, in.Rows[0]); err != nil {
+			return err
+		}
+		var acc uint64
+		if cim {
+			for _, r := range in.Rows {
+				if m.defined[a][r][c]&m.mask != m.mask {
+					return fmt.Errorf("read of undefined cell [%d][%d][%d]", a, c, r)
+				}
+			}
+			op := in.Ops[i]
+			switch op {
+			case logic.And, logic.Nand:
+				acc = ^uint64(0)
+				for _, r := range in.Rows {
+					acc &= m.cells[a][r][c]
+				}
+			case logic.Or, logic.Nor:
+				for _, r := range in.Rows {
+					acc |= m.cells[a][r][c]
+				}
+			case logic.Xor, logic.Xnor:
+				for _, r := range in.Rows {
+					acc ^= m.cells[a][r][c]
+				}
+			default:
+				return fmt.Errorf("unsupported CIM op %v", op)
+			}
+			switch op {
+			case logic.Nand, logic.Nor, logic.Xnor:
+				acc = ^acc
+			}
+			if m.faults != nil {
+				if flips := m.faults.flips(op, len(in.Rows), m.lanes); flips != 0 {
+					acc ^= flips
+					m.countFlips(flips)
+				}
+			}
+		} else {
+			r := in.Rows[0]
+			if m.defined[a][r][c]&m.mask != m.mask {
+				return fmt.Errorf("read of undefined cell [%d][%d][%d]", a, c, r)
+			}
+			acc = m.cells[a][r][c]
+		}
+		m.rowbuf[a][c] = acc & m.mask
+		m.bufDef[a][c] = m.mask
+	}
+	return nil
+}
+
+func (m *LaneMachine) countFlips(w uint64) {
+	for w != 0 {
+		m.flipCounts[bits.TrailingZeros64(w)]++
+		w &= w - 1
+	}
+}
+
+func (m *LaneMachine) stepWrite(in isa.Instruction, inputs map[string]uint64) error {
+	a, row := in.Array, in.Rows[0]
+	if a >= m.target.Arrays {
+		return fmt.Errorf("array %d outside target", a)
+	}
+	src := a
+	if in.HasSrcArray {
+		src = in.SrcArray
+		if src >= m.target.Arrays {
+			return fmt.Errorf("source array %d outside target", src)
+		}
+	}
+	for i, c := range in.Cols {
+		if err := m.checkPlace(a, c, row); err != nil {
+			return err
+		}
+		var v uint64
+		switch {
+		case in.IsHostWrite():
+			val, ok := inputs[in.Bindings[i]]
+			if !ok {
+				return fmt.Errorf("unbound input %q", in.Bindings[i])
+			}
+			v = val
+		default:
+			if m.bufDef[src][c]&m.mask != m.mask {
+				return fmt.Errorf("write from undefined row-buffer bit [%d][%d]", src, c)
+			}
+			v = m.rowbuf[src][c]
+		}
+		m.cells[a][row][c] = v & m.mask
+		m.defined[a][row][c] = m.mask
+	}
+	return nil
+}
+
+func (m *LaneMachine) stepShift(in isa.Instruction) error {
+	a := in.Array
+	if a >= m.target.Arrays {
+		return fmt.Errorf("array %d outside target", a)
+	}
+	// Shift moves whole columns of the row buffer; lanes ride along inside
+	// each word untouched.
+	n := m.target.Cols
+	nb, nd := m.shiftBuf, m.shiftDef
+	d := in.ShiftBy
+	if !in.Right {
+		d = -d
+	}
+	for c := 0; c < n; c++ {
+		srcCol := c - d
+		if srcCol >= 0 && srcCol < n {
+			nb[c] = m.rowbuf[a][srcCol]
+			nd[c] = m.bufDef[a][srcCol]
+		} else {
+			nb[c], nd[c] = 0, 0
+		}
+	}
+	m.rowbuf[a], m.shiftBuf = nb, m.rowbuf[a]
+	m.bufDef[a], m.shiftDef = nd, m.bufDef[a]
+	return nil
+}
+
+func (m *LaneMachine) stepNot(in isa.Instruction) error {
+	a := in.Array
+	if a >= m.target.Arrays {
+		return fmt.Errorf("array %d outside target", a)
+	}
+	for _, c := range in.Cols {
+		if c >= m.target.Cols {
+			return fmt.Errorf("column %d outside target", c)
+		}
+		if m.bufDef[a][c]&m.mask != m.mask {
+			return fmt.Errorf("NOT of undefined row-buffer bit [%d][%d]", a, c)
+		}
+		m.rowbuf[a][c] = ^m.rowbuf[a][c] & m.mask
+	}
+	return nil
+}
+
+// ReadOutWord returns the stored word at a cell (bit l = lane l's value),
+// failing when the cell was never written — the host-side result readout.
+func (m *LaneMachine) ReadOutWord(p layout.Place) (uint64, error) {
+	if err := m.checkPlace(p.Array, p.Col, p.Row); err != nil {
+		return 0, fmt.Errorf("sim: readout of undefined cell %v", p)
+	}
+	if m.defined[p.Array][p.Row][p.Col]&m.mask != m.mask {
+		return 0, fmt.Errorf("sim: readout of undefined cell %v", p)
+	}
+	return m.cells[p.Array][p.Row][p.Col] & m.mask, nil
+}
+
+// laneFaultModel injects sense-decision faults for all lanes with a
+// geometric-skip sampler. Decisions of one (op, rows) reliability class
+// form a conceptual stream in execution order; instead of one Bernoulli
+// draw per decision, the model draws the gap to the next flip from the
+// geometric distribution Geom(P_DF) and skips that many decisions. The two
+// processes are identically distributed, but at P_DF ~ 1e-6 the geometric
+// form consults the RNG roughly once per million decisions instead of a
+// million times.
+type laneFaultModel struct {
+	params device.Params
+	rng    *rand.Rand
+	// skip[class] counts how many upcoming decisions of the class survive
+	// before the next injected flip.
+	skip map[isa.SenseClass]int64
+}
+
+// maxGap caps geometric gaps so skip arithmetic cannot overflow; at any
+// realistic decision count a gap this large means "never flips".
+const maxGap = int64(1) << 60
+
+// gap draws the number of un-flipped decisions preceding the next flip.
+func (f *laneFaultModel) gap(p float64) int64 {
+	if p >= 1 {
+		return 0
+	}
+	// Inversion sampling: floor(log(1-U)/log(1-p)) ~ Geom(p), U in [0,1).
+	g := math.Log1p(-f.rng.Float64()) / math.Log1p(-p)
+	if !(g < float64(maxGap)) { // also catches NaN/Inf
+		return maxGap
+	}
+	return int64(g)
+}
+
+// flips returns the fault word for one CIM-read column: `lanes` decisions
+// of class (op, rows) are consumed from the class stream, and bit l is set
+// iff lane l's decision flips.
+func (f *laneFaultModel) flips(op logic.Op, rows, lanes int) uint64 {
+	pdf := f.params.DecisionFailure(op, rows)
+	if pdf <= 0 {
+		return 0
+	}
+	cls := isa.SenseClass{Op: op, Rows: rows}
+	rem, ok := f.skip[cls]
+	if !ok {
+		rem = f.gap(pdf)
+	}
+	var w uint64
+	for rem < int64(lanes) {
+		w |= uint64(1) << uint(rem)
+		rem += 1 + f.gap(pdf)
+		if rem > maxGap {
+			rem = maxGap
+		}
+	}
+	f.skip[cls] = rem - int64(lanes)
+	return w
+}

@@ -1,0 +1,547 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/device"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/logic"
+)
+
+// progModel tracks which cells and row-buffer bits a generated program has
+// defined, so the generator only emits valid-by-construction instructions
+// and the test knows which cells to read back.
+type progModel struct {
+	t        layout.Target
+	cellsDef [][][]bool
+	bufDef   [][]bool
+	prog     isa.Program
+	names    []string
+}
+
+func newProgModel(t layout.Target) *progModel {
+	m := &progModel{t: t}
+	m.cellsDef = make([][][]bool, t.Arrays)
+	m.bufDef = make([][]bool, t.Arrays)
+	for a := 0; a < t.Arrays; a++ {
+		m.cellsDef[a] = make([][]bool, t.Rows)
+		for r := 0; r < t.Rows; r++ {
+			m.cellsDef[a][r] = make([]bool, t.Cols)
+		}
+		m.bufDef[a] = make([]bool, t.Cols)
+	}
+	return m
+}
+
+// subset returns a random non-empty sorted subset of xs.
+func subset(rng *rand.Rand, xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if rng.Intn(2) == 0 {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{xs[rng.Intn(len(xs))]}
+	}
+	return out
+}
+
+func (m *progModel) hostWrite(rng *rand.Rand) {
+	a, r := rng.Intn(m.t.Arrays), rng.Intn(m.t.Rows)
+	all := make([]int, m.t.Cols)
+	for c := range all {
+		all[c] = c
+	}
+	cols := subset(rng, all)
+	bind := make([]string, len(cols))
+	for i := range bind {
+		bind[i] = fmt.Sprintf("x%d", len(m.names))
+		m.names = append(m.names, bind[i])
+	}
+	m.prog = append(m.prog, isa.Instruction{
+		Kind: isa.KindWrite, Array: a, Cols: cols, Rows: []int{r}, Bindings: bind,
+	})
+	for _, c := range cols {
+		m.cellsDef[a][r][c] = true
+	}
+}
+
+func (m *progModel) cimRead(rng *rand.Rand) bool {
+	a := rng.Intn(m.t.Arrays)
+	for attempt := 0; attempt < 4; attempt++ {
+		k := 2 + rng.Intn(2)
+		if k > m.t.Rows {
+			k = 2
+		}
+		rows := rng.Perm(m.t.Rows)[:k]
+		var cols []int
+		for c := 0; c < m.t.Cols; c++ {
+			ok := true
+			for _, r := range rows {
+				if !m.cellsDef[a][r][c] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		cols = subset(rng, cols)
+		sortInts(rows)
+		ops := make([]logic.Op, len(cols))
+		sense := logic.SenseOps()
+		for i := range ops {
+			ops[i] = sense[rng.Intn(len(sense))]
+		}
+		m.prog = append(m.prog, isa.Instruction{
+			Kind: isa.KindRead, Array: a, Cols: cols, Rows: rows, Ops: ops,
+		})
+		for _, c := range cols {
+			m.bufDef[a][c] = true
+		}
+		return true
+	}
+	return false
+}
+
+func (m *progModel) plainRead(rng *rand.Rand) bool {
+	a := rng.Intn(m.t.Arrays)
+	for attempt := 0; attempt < 4; attempt++ {
+		r := rng.Intn(m.t.Rows)
+		var cols []int
+		for c := 0; c < m.t.Cols; c++ {
+			if m.cellsDef[a][r][c] {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		cols = subset(rng, cols)
+		m.prog = append(m.prog, isa.Instruction{
+			Kind: isa.KindRead, Array: a, Cols: cols, Rows: []int{r},
+		})
+		for _, c := range cols {
+			m.bufDef[a][c] = true
+		}
+		return true
+	}
+	return false
+}
+
+func (m *progModel) bufCols(a int) []int {
+	var cols []int
+	for c := 0; c < m.t.Cols; c++ {
+		if m.bufDef[a][c] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+func (m *progModel) bufWrite(rng *rand.Rand, cross bool) bool {
+	src := rng.Intn(m.t.Arrays)
+	cols := m.bufCols(src)
+	if len(cols) == 0 {
+		return false
+	}
+	cols = subset(rng, cols)
+	dst, r := src, rng.Intn(m.t.Rows)
+	in := isa.Instruction{Kind: isa.KindWrite, Cols: cols, Rows: []int{r}}
+	if cross && m.t.Arrays > 1 {
+		for dst == src {
+			dst = rng.Intn(m.t.Arrays)
+		}
+		in.HasSrcArray, in.SrcArray = true, src
+	}
+	in.Array = dst
+	m.prog = append(m.prog, in)
+	for _, c := range cols {
+		m.cellsDef[dst][r][c] = true
+	}
+	return true
+}
+
+func (m *progModel) not(rng *rand.Rand) bool {
+	a := rng.Intn(m.t.Arrays)
+	cols := m.bufCols(a)
+	if len(cols) == 0 {
+		return false
+	}
+	m.prog = append(m.prog, isa.Instruction{Kind: isa.KindNot, Array: a, Cols: subset(rng, cols)})
+	return true
+}
+
+func (m *progModel) shift(rng *rand.Rand) {
+	a := rng.Intn(m.t.Arrays)
+	d := 1 + rng.Intn(2)
+	right := rng.Intn(2) == 0
+	m.prog = append(m.prog, isa.Instruction{Kind: isa.KindShift, Array: a, Right: right, ShiftBy: d})
+	old := m.bufDef[a]
+	nd := make([]bool, m.t.Cols)
+	dd := d
+	if !right {
+		dd = -d
+	}
+	for c := 0; c < m.t.Cols; c++ {
+		if s := c - dd; s >= 0 && s < m.t.Cols {
+			nd[c] = old[s]
+		}
+	}
+	m.bufDef[a] = nd
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+// randomProgram generates a valid-by-construction program plus its input
+// names and the cells left defined for readout.
+func randomProgram(rng *rand.Rand, t layout.Target, steps int) (*progModel, []layout.Place) {
+	m := newProgModel(t)
+	m.hostWrite(rng)
+	for len(m.prog) < steps {
+		switch rng.Intn(10) {
+		case 0, 1:
+			m.hostWrite(rng)
+		case 2, 3, 4:
+			if !m.cimRead(rng) {
+				m.hostWrite(rng)
+			}
+		case 5:
+			if !m.plainRead(rng) {
+				m.hostWrite(rng)
+			}
+		case 6:
+			if !m.bufWrite(rng, false) {
+				m.hostWrite(rng)
+			}
+		case 7:
+			if !m.bufWrite(rng, true) {
+				m.hostWrite(rng)
+			}
+		case 8:
+			if !m.not(rng) {
+				m.hostWrite(rng)
+			}
+		case 9:
+			m.shift(rng)
+		}
+	}
+	var defined []layout.Place
+	for a := 0; a < t.Arrays; a++ {
+		for r := 0; r < t.Rows; r++ {
+			for c := 0; c < t.Cols; c++ {
+				if m.cellsDef[a][r][c] {
+					defined = append(defined, layout.Place{Array: a, Col: c, Row: r})
+				}
+			}
+		}
+	}
+	return m, defined
+}
+
+// TestLaneMachineMatchesScalarFuzz is the differential oracle: random
+// programs with random inputs must read out identically from Machine (one
+// run per lane) and LaneMachine (one SWAR pass), at every lane count
+// including partial final words, and with garbage in the dead high lanes of
+// the input words.
+func TestLaneMachineMatchesScalarFuzz(t *testing.T) {
+	target := layout.Target{Arrays: 2, Rows: 6, Cols: 5}
+	rng := rand.New(rand.NewSource(17))
+	laneChoices := []int{1, 2, 7, 31, 63, 64}
+	for trial := 0; trial < 150; trial++ {
+		pm, defined := randomProgram(rng, target, 24)
+		lanes := laneChoices[trial%len(laneChoices)]
+
+		words := make(map[string]uint64, len(pm.names))
+		perLane := make([]map[string]bool, lanes)
+		for _, n := range pm.names {
+			words[n] = 0
+		}
+		for l := 0; l < lanes; l++ {
+			in := make(map[string]bool, len(pm.names))
+			for _, n := range pm.names {
+				v := rng.Intn(2) == 1
+				in[n] = v
+				if v {
+					words[n] |= uint64(1) << uint(l)
+				}
+			}
+			perLane[l] = in
+		}
+		if lanes < 64 {
+			// Dead lanes must not leak into live results.
+			for _, n := range pm.names {
+				words[n] |= rng.Uint64() << uint(lanes)
+			}
+		}
+
+		lm := NewLaneMachine(target, lanes)
+		if err := lm.Run(pm.prog, words); err != nil {
+			t.Fatalf("trial %d: lane machine: %v\nprogram:\n%s", trial, err, pm.prog)
+		}
+		for l := 0; l < lanes; l++ {
+			sm := NewMachine(target)
+			if err := sm.Run(pm.prog, perLane[l]); err != nil {
+				t.Fatalf("trial %d lane %d: scalar machine: %v\nprogram:\n%s", trial, l, err, pm.prog)
+			}
+			for _, p := range defined {
+				want, err := sm.ReadOut(p)
+				if err != nil {
+					t.Fatalf("trial %d lane %d: scalar readout %v: %v", trial, l, p, err)
+				}
+				w, err := lm.ReadOutWord(p)
+				if err != nil {
+					t.Fatalf("trial %d: lane readout %v: %v", trial, p, err)
+				}
+				if got := w>>uint(l)&1 == 1; got != want {
+					t.Fatalf("trial %d lane %d cell %v: lane machine %v, scalar %v\nprogram:\n%s",
+						trial, l, p, got, want, pm.prog)
+				}
+			}
+		}
+	}
+}
+
+// TestLaneMachineStrictErrorsMatchScalar asserts the lane machine rejects
+// exactly what the scalar machine rejects, with identical messages: the
+// program is lane-uniform, so an undefined access in one lane is one in
+// all.
+func TestLaneMachineStrictErrorsMatchScalar(t *testing.T) {
+	target := layout.Target{Arrays: 2, Rows: 8, Cols: 4}
+	cases := []struct {
+		name, prog string
+		inputs     map[string]bool
+	}{
+		{"undefined read", "Read [0][0][0]", nil},
+		{"shift drops bit", "Write [0][3][0] <x>\nRead [0][3][0]\nShift [0] R[2]\nWrite [0][3][1]",
+			map[string]bool{"x": true}},
+		{"unbound input", "Write [0][0][0] <mystery>", map[string]bool{}},
+		{"bad array", "Write [5][0][0] <x>", map[string]bool{"x": true}},
+		{"bad row", "Read [0][0][0,99] [AND]", map[string]bool{"x": true}},
+		{"undefined buffer write", "Write [0][0][0] <x>\nRead [0][0][0]\nWrite [1][0][0] @[0]\nNot [1][1]",
+			map[string]bool{"x": true}},
+	}
+	for _, tc := range cases {
+		prog, err := isa.ParseProgram(tc.prog)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		sm := NewMachine(target)
+		errS := sm.Run(prog, tc.inputs)
+		for _, lanes := range []int{64, 5} {
+			words := make(map[string]uint64)
+			for n, v := range tc.inputs {
+				var w uint64
+				if v {
+					w = ^uint64(0)
+				}
+				words[n] = w
+			}
+			lm := NewLaneMachine(target, lanes)
+			errL := lm.Run(prog, words)
+			if (errS == nil) != (errL == nil) {
+				t.Errorf("%s (lanes %d): scalar err %v, lane err %v", tc.name, lanes, errS, errL)
+				continue
+			}
+			if errS != nil && errS.Error() != errL.Error() {
+				t.Errorf("%s (lanes %d): error mismatch\nscalar: %v\nlane:   %v", tc.name, lanes, errS, errL)
+			}
+		}
+	}
+}
+
+// TestLaneMachineReset asserts Reset reuses the machine cleanly: state from
+// a previous pass must not leak into the next one.
+func TestLaneMachineReset(t *testing.T) {
+	target := layout.Target{Arrays: 1, Rows: 4, Cols: 2}
+	prog, err := isa.ParseProgram("Write [0][0,1][0] <a,b>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewLaneMachine(target, 64)
+	if err := m.Run(prog, map[string]uint64{"a": ^uint64(0), "b": 0}); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(3)
+	if m.Lanes() != 3 || m.Mask() != 7 {
+		t.Fatalf("Reset(3): lanes %d mask %#x", m.Lanes(), m.Mask())
+	}
+	if _, err := m.ReadOutWord(layout.Place{Array: 0, Col: 0, Row: 0}); err == nil {
+		t.Fatal("cell stayed defined across Reset")
+	}
+	if err := m.Run(prog, map[string]uint64{"a": 5, "b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ReadOutWord(layout.Place{Array: 0, Col: 0, Row: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 5 {
+		t.Fatalf("readout after Reset = %#x, want 0x5", w)
+	}
+	if m.TotalFaults() != 0 {
+		t.Fatal("fault counts survived Reset")
+	}
+}
+
+// faultProgram is a high-decision-count program for sampler statistics: two
+// host-written rows and four 8-column XOR scouting reads, 32 sense
+// decisions per run.
+func faultProgram(t *testing.T) (isa.Program, layout.Target, map[string]bool, map[string]uint64) {
+	t.Helper()
+	target := layout.Target{Arrays: 1, Rows: 4, Cols: 8}
+	var sb []isa.Instruction
+	for r := 0; r < 2; r++ {
+		cols := make([]int, 8)
+		bind := make([]string, 8)
+		for c := range cols {
+			cols[c] = c
+			bind[c] = fmt.Sprintf("r%dc%d", r, c)
+		}
+		sb = append(sb, isa.Instruction{
+			Kind: isa.KindWrite, Cols: cols, Rows: []int{r}, Bindings: bind,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		cols := make([]int, 8)
+		ops := make([]logic.Op, 8)
+		for c := range cols {
+			cols[c] = c
+			ops[c] = logic.Xor
+		}
+		sb = append(sb, isa.Instruction{Kind: isa.KindRead, Cols: cols, Rows: []int{0, 1}, Ops: ops})
+	}
+	prog := isa.Program(sb)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scalarIn := make(map[string]bool)
+	laneIn := make(map[string]uint64)
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 8; c++ {
+			n := fmt.Sprintf("r%dc%d", r, c)
+			scalarIn[n] = rng.Intn(2) == 1
+			laneIn[n] = rng.Uint64()
+		}
+	}
+	return prog, target, scalarIn, laneIn
+}
+
+// TestGeometricSkipMatchesBernoulli validates the lane machine's
+// geometric-skip fault sampler against the scalar machine's per-decision
+// Bernoulli draws: over many runs at a high P_DF, the per-run flip-count
+// histograms must agree (two-sample chi-squared), as must the means. Both
+// streams are seeded, so the test is deterministic.
+func TestGeometricSkipMatchesBernoulli(t *testing.T) {
+	prog, target, scalarIn, laneIn := faultProgram(t)
+	params := device.ParamsFor(device.STTMRAM)
+	params.RelSDLRS, params.RelSDHRS = 0.5, 0.5 // inflate P_DF into testable range
+
+	const runs = 4096
+	const maxBin = 10
+	var scalarHist, laneHist [maxBin + 1]int
+	scalarTotal, laneTotal := 0, 0
+
+	for i := 0; i < runs; i++ {
+		m := NewMachine(target)
+		m.EnableFaultInjection(params, int64(1000+i))
+		if err := m.Run(prog, scalarIn); err != nil {
+			t.Fatal(err)
+		}
+		f := m.FaultCount()
+		scalarTotal += f
+		if f > maxBin {
+			f = maxBin
+		}
+		scalarHist[f]++
+	}
+
+	lm := NewLaneMachine(target, WordLanes)
+	for b := 0; b < runs/WordLanes; b++ {
+		lm.Reset(WordLanes)
+		lm.EnableFaultInjection(params, int64(5000+b))
+		if err := lm.Run(prog, laneIn); err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < WordLanes; l++ {
+			f := lm.FaultCount(l)
+			laneTotal += f
+			if f > maxBin {
+				f = maxBin
+			}
+			laneHist[f]++
+		}
+	}
+
+	if scalarTotal == 0 || laneTotal == 0 {
+		t.Fatalf("degenerate sampler totals: scalar %d, lane %d", scalarTotal, laneTotal)
+	}
+	meanS := float64(scalarTotal) / runs
+	meanL := float64(laneTotal) / runs
+	if rel := math.Abs(meanS-meanL) / meanS; rel > 0.10 {
+		t.Errorf("mean flips diverge: scalar %.3f vs lane %.3f (%.1f%%)", meanS, meanL, 100*rel)
+	}
+
+	// Two-sample chi-squared with equal sample sizes.
+	chi2, df := 0.0, -1
+	for i := range scalarHist {
+		o1, o2 := float64(scalarHist[i]), float64(laneHist[i])
+		if o1+o2 < 8 {
+			continue // too sparse to contribute meaningfully
+		}
+		d := o1 - o2
+		chi2 += d * d / (o1 + o2)
+		df++
+	}
+	if df < 2 {
+		t.Fatalf("chi-squared degenerate: df=%d (hists %v vs %v)", df, scalarHist, laneHist)
+	}
+	crit := float64(df) + 4*math.Sqrt(2*float64(df)) // ~p<0.001 upper tail
+	if chi2 > crit {
+		t.Errorf("chi2=%.2f exceeds crit=%.2f (df=%d)\nscalar %v\nlane   %v",
+			chi2, crit, df, scalarHist, laneHist)
+	}
+}
+
+// TestLaneFaultDeterminism pins the sampler's reproducibility: one seed,
+// one fault pattern.
+func TestLaneFaultDeterminism(t *testing.T) {
+	prog, target, _, laneIn := faultProgram(t)
+	params := device.ParamsFor(device.STTMRAM)
+	params.RelSDLRS, params.RelSDHRS = 0.5, 0.5
+
+	counts := func() []int {
+		m := NewLaneMachine(target, WordLanes)
+		m.EnableFaultInjection(params, 42)
+		if err := m.Run(prog, laneIn); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, WordLanes)
+		for l := range out {
+			out[l] = m.FaultCount(l)
+		}
+		return out
+	}
+	a, b := counts(), counts()
+	for l := range a {
+		if a[l] != b[l] {
+			t.Fatalf("lane %d: %d flips vs %d for identical seeds", l, a[l], b[l])
+		}
+	}
+}

@@ -31,6 +31,13 @@ type Machine struct {
 	bufDef    [][]bool
 	faults    *faultModel
 	flipCount int
+
+	// Scratch buffers hoisted off the hot path: readBits gathers one
+	// column's operands in stepRead, shiftBuf/shiftDef double-buffer the
+	// row buffer in stepShift. Without them every read column and every
+	// shift instruction allocates.
+	readBits           []bool
+	shiftBuf, shiftDef []bool
 }
 
 type faultModel struct {
@@ -59,6 +66,9 @@ func NewMachine(t layout.Target) *Machine {
 		m.rowbuf[a] = make([]bool, t.Cols)
 		m.bufDef[a] = make([]bool, t.Cols)
 	}
+	m.readBits = make([]bool, 0, 8)
+	m.shiftBuf = make([]bool, t.Cols)
+	m.shiftDef = make([]bool, t.Cols)
 	return m
 }
 
@@ -139,13 +149,14 @@ func (m *Machine) stepRead(in isa.Instruction) error {
 		if err := m.checkPlace(a, c, in.Rows[0]); err != nil {
 			return err
 		}
-		bits := make([]bool, len(in.Rows))
-		for j, r := range in.Rows {
+		bits := m.readBits[:0]
+		for _, r := range in.Rows {
 			if !m.defined[a][r][c] {
 				return fmt.Errorf("read of undefined cell [%d][%d][%d]", a, c, r)
 			}
-			bits[j] = m.cells[a][r][c]
+			bits = append(bits, m.cells[a][r][c])
 		}
+		m.readBits = bits[:0]
 		var v bool
 		if in.IsCIMRead() {
 			v = in.Ops[i].Eval(bits...)
@@ -207,8 +218,7 @@ func (m *Machine) stepShift(in isa.Instruction) error {
 		return fmt.Errorf("array %d outside target", a)
 	}
 	n := m.target.Cols
-	nb := make([]bool, n)
-	nd := make([]bool, n)
+	nb, nd := m.shiftBuf, m.shiftDef
 	d := in.ShiftBy
 	if !in.Right {
 		d = -d
@@ -218,9 +228,14 @@ func (m *Machine) stepShift(in isa.Instruction) error {
 		if srcCol >= 0 && srcCol < n {
 			nb[c] = m.rowbuf[a][srcCol]
 			nd[c] = m.bufDef[a][srcCol]
+		} else {
+			nb[c], nd[c] = false, false
 		}
 	}
-	m.rowbuf[a], m.bufDef[a] = nb, nd
+	// Swap the shifted scratch in; the old buffer becomes next time's
+	// scratch.
+	m.rowbuf[a], m.shiftBuf = nb, m.rowbuf[a]
+	m.bufDef[a], m.shiftDef = nd, m.bufDef[a]
 	return nil
 }
 

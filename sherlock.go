@@ -27,6 +27,7 @@ package sherlock
 
 import (
 	"fmt"
+	"sync"
 
 	"sherlock/internal/arraymodel"
 	"sherlock/internal/cparser"
@@ -153,6 +154,9 @@ type Compiled struct {
 
 	opts   Options
 	result *mapping.Result
+
+	bindOnce  sync.Once
+	bindNames []string // host-write bindings, in first-use order
 }
 
 // CompileC parses a C-subset kernel (see internal/cparser for the accepted
@@ -255,24 +259,90 @@ func (c *Compiled) RunWithFaults(inputs map[string]bool, seed int64) (map[string
 	return c.run(inputs, true, seed)
 }
 
-// RunBatch executes the program once per input assignment, fanning the
-// independent executions out over up to parallelism workers (0 selects
-// runtime.GOMAXPROCS(0)). Each execution gets its own simulator instance;
-// outputs come back in input order, identical to calling Run sequentially.
+// RunBatch executes the program once per input assignment, word-parallel:
+// up to sim.WordLanes (64) input vectors pack into the bit-lanes of one
+// SWAR lane-machine pass, and the lane groups fan out over up to
+// parallelism workers (0 selects runtime.GOMAXPROCS(0)), so each worker
+// simulates 64 vectors per program execution. Outputs come back in input
+// order, bit-for-bit identical to calling Run sequentially.
 func (c *Compiled) RunBatch(batch []map[string]bool, parallelism int) ([]map[string]bool, error) {
 	outs := make([]map[string]bool, len(batch))
-	err := pool.Run(parallelism, len(batch), func(i int) error {
-		o, err := c.Run(batch[i])
-		if err != nil {
-			return fmt.Errorf("sherlock: batch input %d: %w", i, err)
+	groups := (len(batch) + sim.WordLanes - 1) / sim.WordLanes
+	err := pool.Run(parallelism, groups, func(g int) error {
+		start := g * sim.WordLanes
+		end := start + sim.WordLanes
+		if end > len(batch) {
+			end = len(batch)
 		}
-		outs[i] = o
-		return nil
+		return c.runLaneGroup(batch, outs, start, end)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return outs, nil
+}
+
+// inputNames returns the host-write bindings the program consumes, computed
+// once per Compiled (RunBatch packs exactly these into lane words).
+func (c *Compiled) inputNames() []string {
+	c.bindOnce.Do(func() {
+		seen := make(map[string]bool)
+		for _, in := range c.Program {
+			for _, b := range in.Bindings {
+				if !seen[b] {
+					seen[b] = true
+					c.bindNames = append(c.bindNames, b)
+				}
+			}
+		}
+	})
+	return c.bindNames
+}
+
+// runLaneGroup simulates batch[start:end) as the lanes of one LaneMachine
+// pass and unpacks the readouts into outs.
+func (c *Compiled) runLaneGroup(batch, outs []map[string]bool, start, end int) error {
+	lanes := end - start
+	names := c.inputNames()
+	words := make(map[string]uint64, len(names))
+	for _, name := range names {
+		words[name] = 0
+	}
+	for l := 0; l < lanes; l++ {
+		in := batch[start+l]
+		for _, name := range names {
+			v, ok := in[name]
+			if !ok {
+				return fmt.Errorf("sherlock: batch input %d: unbound input %q", start+l, name)
+			}
+			if v {
+				words[name] |= uint64(1) << uint(l)
+			}
+		}
+	}
+	m := sim.NewLaneMachine(c.result.Layout.Target(), lanes)
+	if err := m.Run(c.Program, words); err != nil {
+		return fmt.Errorf("sherlock: batch inputs [%d,%d): %w", start, end, err)
+	}
+	outputs := c.Graph.Outputs()
+	for l := 0; l < lanes; l++ {
+		outs[start+l] = make(map[string]bool, len(outputs))
+	}
+	for _, out := range outputs {
+		p, err := c.result.OutputPlace(out)
+		if err != nil {
+			return err
+		}
+		w, err := m.ReadOutWord(p)
+		if err != nil {
+			return err
+		}
+		name := c.Graph.OutputName(out)
+		for l := 0; l < lanes; l++ {
+			outs[start+l][name] = w>>uint(l)&1 == 1
+		}
+	}
+	return nil
 }
 
 func (c *Compiled) run(inputs map[string]bool, faults bool, seed int64) (map[string]bool, int, error) {

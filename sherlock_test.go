@@ -3,6 +3,7 @@ package sherlock
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -236,7 +237,8 @@ func TestRunBatchMatchesSequentialRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))
-	batch := make([]map[string]bool, 32)
+	// 131 vectors: two full 64-wide lane groups plus a 3-lane partial word.
+	batch := make([]map[string]bool, 131)
 	for i := range batch {
 		batch[i] = map[string]bool{
 			"a": rng.Intn(2) == 1, "b": rng.Intn(2) == 1, "c": rng.Intn(2) == 1,
@@ -270,13 +272,19 @@ func TestRunBatchPropagatesError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Input 1 is missing a binding; the strict simulator must reject it
-	// and RunBatch must surface the failure.
-	batch := []map[string]bool{
-		{"a": true, "b": true, "c": false},
-		{"a": true},
+	// Input 70 is missing a binding; the strict simulator must reject it
+	// and RunBatch must surface the failure with that input's index even
+	// though it sits in the second lane group.
+	batch := make([]map[string]bool, 80)
+	for i := range batch {
+		batch[i] = map[string]bool{"a": true, "b": true, "c": false}
 	}
-	if _, err := c.RunBatch(batch, 2); err == nil {
+	batch[70] = map[string]bool{"a": true}
+	_, err = c.RunBatch(batch, 2)
+	if err == nil {
 		t.Fatal("no error for underspecified input")
+	}
+	if !strings.Contains(err.Error(), "input 70") {
+		t.Fatalf("error %q does not name failing batch index 70", err)
 	}
 }
