@@ -150,6 +150,7 @@ func buildQuickAES(b *testing.B) *dfg.Graph {
 func BenchmarkMapperNaiveAES(b *testing.B) {
 	g := buildQuickAES(b)
 	t := layout.Target{Arrays: 4, Rows: 512, Cols: 512}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mapping.Naive(g, mapping.Options{Target: t}); err != nil {
@@ -161,6 +162,84 @@ func BenchmarkMapperNaiveAES(b *testing.B) {
 func BenchmarkMapperOptimizedAES(b *testing.B) {
 	g := buildQuickAES(b)
 	t := layout.Target{Arrays: 4, Rows: 512, Cols: 512}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.Optimized(g, mapping.Options{Target: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeInstructions isolates the cross-cluster merge pass (level
+// scheduling, hazard analysis, and bucket merging) on the largest program
+// the quick kernels produce: the unmerged naive AES mapping.
+func BenchmarkMergeInstructions(b *testing.B) {
+	g := buildQuickAES(b)
+	t := layout.Target{Arrays: 4, Rows: 512, Cols: 512}
+	res, err := mapping.Naive(g, mapping.Options{Target: t})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var merged int
+	for i := 0; i < b.N; i++ {
+		_, merged = mapping.MergeInstructions(res.Program)
+	}
+	b.ReportMetric(float64(len(res.Program)), "instr_before")
+	b.ReportMetric(float64(len(res.Program)-merged), "instr_after")
+}
+
+// buildSyntheticDFG grows a pseudo-random gate-soup DFG far wider than any
+// quick kernel, stressing the clusterer and b-level scheduler at a scale
+// where quadratic slips would dominate.
+func buildSyntheticDFG(b *testing.B, nInputs, nOps int) *dfg.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(97))
+	bld := dfg.NewBuilder()
+	bld.DisableCSE = true
+	vals := make([]dfg.Val, 0, nInputs+nOps)
+	for i := 0; i < nInputs; i++ {
+		vals = append(vals, bld.Input(fmt.Sprintf("in%d", i)))
+	}
+	for len(vals) < nInputs+nOps {
+		x := vals[rng.Intn(len(vals))]
+		y := vals[rng.Intn(len(vals))]
+		var v dfg.Val
+		switch rng.Intn(4) {
+		case 0:
+			v = bld.And(x, y)
+		case 1:
+			v = bld.Or(x, y)
+		case 2:
+			v = bld.Xor(x, y)
+		default:
+			v = bld.Not(x)
+		}
+		if ic, _ := v.IsConst(); ic {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	g := bld.Graph()
+	n := 0
+	for _, operand := range g.Operands() {
+		if len(g.Consumers(operand)) == 0 && g.Producer(operand) != dfg.NoNode {
+			g.MarkOutputNamed(operand, fmt.Sprintf("out%d", n))
+			n++
+		}
+	}
+	return g
+}
+
+// BenchmarkMapperOptimizedSynthetic maps a 12k-op synthetic DFG — roughly 4x
+// the quick AES kernel — through the full optimized pipeline (clustering,
+// emission, merging).
+func BenchmarkMapperOptimizedSynthetic(b *testing.B) {
+	g := buildSyntheticDFG(b, 128, 12000)
+	t := layout.Target{Arrays: 8, Rows: 512, Cols: 512}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mapping.Optimized(g, mapping.Options{Target: t}); err != nil {
@@ -240,6 +319,7 @@ func BenchmarkAblationInstructionMerging(b *testing.B) {
 		b.Fatal(err)
 	}
 	var merged int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, merged = mapping.MergeInstructions(res.Program)

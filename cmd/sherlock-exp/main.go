@@ -22,17 +22,31 @@ import (
 
 	"sherlock/internal/device"
 	"sherlock/internal/experiments"
+	"sherlock/internal/profiling"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc or all")
-		quick     = flag.Bool("quick", false, "shrunken kernels for fast iteration")
-		fig6Size  = flag.Int("fig6-size", 256, "array dimension for the Fig. 6 sweep")
-		fig7Sizes = flag.String("fig7-sizes", "128,256,512,1024", "array dimensions for Fig. 7")
-		parallel  = flag.Int("parallel", 0, "campaign worker pool size (0 = all cores); results are identical for every setting")
+		exp        = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc or all")
+		quick      = flag.Bool("quick", false, "shrunken kernels for fast iteration")
+		fig6Size   = flag.Int("fig6-size", 256, "array dimension for the Fig. 6 sweep")
+		fig7Sizes  = flag.String("fig7-sizes", "128,256,512,1024", "array dimensions for Fig. 7")
+		parallel   = flag.Int("parallel", 0, "campaign worker pool size (0 = all cores); results are identical for every setting")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sherlock-exp:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "sherlock-exp:", err)
+		}
+	}()
 
 	setup := experiments.DefaultSetup()
 	if *quick {

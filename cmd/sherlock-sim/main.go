@@ -21,6 +21,7 @@ import (
 	"sherlock/internal/device"
 	"sherlock/internal/isa"
 	"sherlock/internal/layout"
+	"sherlock/internal/profiling"
 	"sherlock/internal/sim"
 )
 
@@ -33,8 +34,20 @@ func main() {
 		faults   = flag.Bool("faults", false, "enable decision-failure fault injection")
 		tech     = flag.String("tech", "STT-MRAM", "technology for fault injection")
 		seed     = flag.Int64("seed", 1, "fault-injection seed")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 	if *progPath == "" {
 		fatal(fmt.Errorf("-prog is required"))
 	}

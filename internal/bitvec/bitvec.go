@@ -125,6 +125,47 @@ func (v *Vector) SetWord(i int, w uint64) {
 	}
 }
 
+// OrWith ORs w into v in place (v |= w). The vectors must have equal
+// length. Unlike Or it allocates nothing, which makes it the primitive of
+// choice for hot-path set unions (cluster footprints in the mapper).
+func (v *Vector) OrWith(w *Vector) {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, w.n))
+	}
+	for i := range v.words {
+		v.words[i] |= w.words[i]
+	}
+}
+
+// CopyFrom overwrites v with w's contents. The vectors must have equal
+// length; nothing is allocated.
+func (v *Vector) CopyFrom(w *Vector) {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, w.n))
+	}
+	copy(v.words, w.words)
+}
+
+// Reset clears every bit without allocating.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// UnionOnesCount returns the popcount of a|b without materializing the
+// union. The vectors must have equal length.
+func UnionOnesCount(a, b *Vector) int {
+	if a.n != b.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", a.n, b.n))
+	}
+	total := 0
+	for i := range a.words {
+		total += bits.OnesCount64(a.words[i] | b.words[i])
+	}
+	return total
+}
+
 // OnesCount returns the number of set bits.
 func (v *Vector) OnesCount() int {
 	total := 0

@@ -10,6 +10,7 @@ package dfg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sherlock/internal/logic"
 )
@@ -64,6 +65,14 @@ type Graph struct {
 
 	byName      map[string]NodeID // operand name -> id
 	outputAlias map[NodeID]string // output operand -> user-facing name
+
+	// Scheduling-order cache: b-levels and the priority order are needed
+	// several times per compile (clustering, code generation) but only
+	// change when nodes are added. Guarded by mu so concurrent campaign
+	// workers can share one graph.
+	mu        sync.Mutex
+	blCache   []int32  // b-level per node (op entries only), nil when stale
+	prioCache []NodeID // ops by descending b-level, nil when stale
 }
 
 // New returns an empty graph.
@@ -79,6 +88,9 @@ func New() *Graph {
 }
 
 func (g *Graph) addNode(n node) NodeID {
+	g.mu.Lock()
+	g.blCache, g.prioCache = nil, nil
+	g.mu.Unlock()
 	g.nodes = append(g.nodes, n)
 	return NodeID(len(g.nodes) - 1)
 }
@@ -252,6 +264,24 @@ func (g *Graph) OpInputs(op NodeID) []NodeID {
 	return append([]NodeID(nil), g.opInputs[op]...)
 }
 
+// AppendOpInputs appends the ordered input operands of an op node to buf
+// and returns the extended slice — the allocation-free variant of OpInputs
+// for hot loops that bring their own buffer.
+func (g *Graph) AppendOpInputs(op NodeID, buf []NodeID) []NodeID {
+	if !g.isOp(op) {
+		panic(fmt.Sprintf("dfg: AppendOpInputs of non-op node %d", op))
+	}
+	return append(buf, g.opInputs[op]...)
+}
+
+// NumOpInputs returns the arity of an op node without copying its inputs.
+func (g *Graph) NumOpInputs(op NodeID) int {
+	if !g.isOp(op) {
+		panic(fmt.Sprintf("dfg: NumOpInputs of non-op node %d", op))
+	}
+	return len(g.opInputs[op])
+}
+
 // OpOutput returns the result operand of an op node.
 func (g *Graph) OpOutput(op NodeID) NodeID {
 	if !g.isOp(op) {
@@ -280,6 +310,24 @@ func (g *Graph) Consumers(operand NodeID) []NodeID {
 	return append([]NodeID(nil), g.consumers[operand]...)
 }
 
+// AppendConsumers appends the op nodes consuming the operand to buf and
+// returns the extended slice (the allocation-free variant of Consumers).
+func (g *Graph) AppendConsumers(operand NodeID, buf []NodeID) []NodeID {
+	if !g.isOperand(operand) {
+		panic(fmt.Sprintf("dfg: AppendConsumers of non-operand node %d", operand))
+	}
+	return append(buf, g.consumers[operand]...)
+}
+
+// NumConsumers returns how many op nodes consume the operand without
+// copying the consumer list.
+func (g *Graph) NumConsumers(operand NodeID) int {
+	if !g.isOperand(operand) {
+		panic(fmt.Sprintf("dfg: NumConsumers of non-operand node %d", operand))
+	}
+	return len(g.consumers[operand])
+}
+
 // OpPreds returns the distinct op nodes whose outputs feed op, in input
 // order.
 func (g *Graph) OpPreds(op NodeID) []NodeID {
@@ -292,6 +340,31 @@ func (g *Graph) OpPreds(op NodeID) []NodeID {
 		}
 	}
 	return preds
+}
+
+// AppendOpPreds appends the distinct op nodes whose outputs feed op to buf
+// in input order — the allocation-free variant of OpPreds. Deduplication is
+// a linear scan of the appended region, which beats a map for the small
+// arities real kernels have.
+func (g *Graph) AppendOpPreds(op NodeID, buf []NodeID) []NodeID {
+	start := len(buf)
+	for _, in := range g.opInputs[op] {
+		p, ok := g.producer[in]
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, q := range buf[start:] {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, p)
+		}
+	}
+	return buf
 }
 
 // OpSuccs returns the distinct op nodes consuming op's output.
@@ -312,22 +385,74 @@ func (g *Graph) OpSuccs(op NodeID) []NodeID {
 // references pre-existing operands, creation order is already topological.
 func (g *Graph) TopoOps() []NodeID { return g.OpNodes() }
 
-// BLevels computes the b-level (longest path to any sink, counting op nodes
-// as weight 1) of every op node.
-func (g *Graph) BLevels() map[NodeID]int {
-	ops := g.TopoOps()
-	bl := make(map[NodeID]int, len(ops))
+// ensureOrder computes and caches the b-levels and the priority order.
+// Callers must hold g.mu. The b-level recurrence maximizes over an op's
+// consumers directly (duplicate consumers cannot change a maximum), so no
+// per-op successor set is materialized.
+func (g *Graph) ensureOrder() {
+	if g.blCache != nil {
+		return
+	}
+	bl := make([]int32, len(g.nodes))
+	ops := g.OpNodes()
 	for i := len(ops) - 1; i >= 0; i-- {
 		op := ops[i]
-		best := 0
-		for _, s := range g.OpSuccs(op) {
-			if bl[s] > best {
-				best = bl[s]
+		best := int32(0)
+		for _, c := range g.consumers[g.opOutput[op]] {
+			if bl[c] > best {
+				best = bl[c]
 			}
 		}
 		bl[op] = best + 1
 	}
-	return bl
+	sort.SliceStable(ops, func(i, j int) bool {
+		if bl[ops[i]] != bl[ops[j]] {
+			return bl[ops[i]] > bl[ops[j]]
+		}
+		return ops[i] < ops[j]
+	})
+	g.blCache, g.prioCache = bl, ops
+}
+
+// BLevels computes the b-level (longest path to any sink, counting op nodes
+// as weight 1) of every op node. The result is cached on the graph; the
+// returned map is a fresh copy the caller may mutate.
+func (g *Graph) BLevels() map[NodeID]int {
+	g.mu.Lock()
+	g.ensureOrder()
+	bl := g.blCache
+	prio := g.prioCache
+	g.mu.Unlock()
+	out := make(map[NodeID]int, len(prio))
+	for _, op := range prio {
+		out[op] = int(bl[op])
+	}
+	return out
+}
+
+// BLevelsDense returns the b-levels as a flat slice indexed by NodeID
+// (entries for operand nodes are zero). The caller owns the returned copy;
+// the mapper indexes it directly in its scoring loop instead of hashing
+// NodeIDs.
+func (g *Graph) BLevelsDense() []int32 {
+	g.mu.Lock()
+	g.ensureOrder()
+	out := append([]int32(nil), g.blCache...)
+	g.mu.Unlock()
+	return out
+}
+
+// BLevel returns the b-level of one op node from the cached order — the
+// allocation-free lookup the mapper's scoring loop uses.
+func (g *Graph) BLevel(op NodeID) int {
+	if !g.isOp(op) {
+		panic(fmt.Sprintf("dfg: BLevel of non-op node %d", op))
+	}
+	g.mu.Lock()
+	g.ensureOrder()
+	v := g.blCache[op]
+	g.mu.Unlock()
+	return int(v)
 }
 
 // TLevels computes the t-level (longest path from any source, exclusive of
@@ -348,28 +473,28 @@ func (g *Graph) TLevels() map[NodeID]int {
 
 // OpsByPriority returns op nodes sorted by descending b-level, ties broken
 // by ascending ID for determinism. This is the node queue nq used by both
-// Algorithm 1 and Algorithm 2.
+// Algorithm 1 and Algorithm 2. The order is cached on the graph; the
+// returned slice is a fresh copy the caller may mutate.
 func (g *Graph) OpsByPriority() []NodeID {
-	bl := g.BLevels()
-	ops := g.OpNodes()
-	sort.SliceStable(ops, func(i, j int) bool {
-		if bl[ops[i]] != bl[ops[j]] {
-			return bl[ops[i]] > bl[ops[j]]
-		}
-		return ops[i] < ops[j]
-	})
-	return ops
+	g.mu.Lock()
+	g.ensureOrder()
+	out := append([]NodeID(nil), g.prioCache...)
+	g.mu.Unlock()
+	return out
 }
 
 // CriticalPathLength returns the maximum b-level (0 for an empty graph).
 func (g *Graph) CriticalPathLength() int {
-	best := 0
-	for _, v := range g.BLevels() {
-		if v > best {
-			best = v
+	g.mu.Lock()
+	g.ensureOrder()
+	best := int32(0)
+	for _, op := range g.prioCache {
+		if g.blCache[op] > best {
+			best = g.blCache[op]
 		}
 	}
-	return best
+	g.mu.Unlock()
+	return int(best)
 }
 
 // Stats summarizes a graph.

@@ -3,24 +3,29 @@ package mapping
 import (
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
+	"sherlock/internal/bitvec"
 	"sherlock/internal/dfg"
 )
 
 // cluster is a group of op nodes destined for one CIM column. Its footprint
 // is the set of operand cells the column must hold: every input consumed by
-// the cluster's ops (locally produced or copied in) plus every output.
+// the cluster's ops (locally produced or copied in) plus every output. The
+// footprint is a word-packed bitset over NodeIDs, so the capacity checks
+// and unions of the clustering loop are word-wide OR/popcount instead of
+// hash-map iteration.
 type cluster struct {
 	id        int
 	ops       []dfg.NodeID
-	footprint map[dfg.NodeID]struct{}
+	footprint *bitvec.Vector
+	size      int // popcount of footprint, maintained incrementally
 }
 
 func (c *cluster) footprintWith(extra []dfg.NodeID) int {
-	n := len(c.footprint)
+	n := c.size
 	for _, x := range extra {
-		if _, ok := c.footprint[x]; !ok {
+		if !c.footprint.Get(int(x)) {
 			n++
 		}
 	}
@@ -30,38 +35,57 @@ func (c *cluster) footprintWith(extra []dfg.NodeID) int {
 func (c *cluster) add(op dfg.NodeID, operands []dfg.NodeID) {
 	c.ops = append(c.ops, op)
 	for _, x := range operands {
-		c.footprint[x] = struct{}{}
+		if !c.footprint.Get(int(x)) {
+			c.footprint.Set(int(x), true)
+			c.size++
+		}
 	}
 }
 
-// clusterer runs the FindClusters procedure of Algorithm 2.
+// clusterer runs the FindClusters procedure of Algorithm 2. All state is
+// indexed by dense IDs (NodeID for ops/operands, sequential ints for
+// clusters); the only maps left are the adjacency view of mergeClusters.
 type clusterer struct {
-	g         *dfg.Graph
-	bl        map[dfg.NodeID]int
-	maxSize   int
-	opt       Options
-	clusters  map[int]*cluster
-	opCluster map[dfg.NodeID]int
-	nextID    int
+	g        *dfg.Graph
+	bl       []int32 // b-level per node, indexed by NodeID
+	numNodes int
+	maxSize  int
+	opt      Options
+
+	clusters  []*cluster // indexed by cluster id; nil once absorbed
+	live      int        // clusters still alive
+	opCluster []int32    // NodeID -> cluster id (-1 until assigned)
+
+	// Reusable scratch.
+	fpBuf   []dfg.NodeID   // one op's footprint (inputs + output)
+	predBuf []dfg.NodeID   // one op's distinct predecessors
+	pcsBuf  []*cluster     // distinct predecessor clusters
+	union   *bitvec.Vector // tryMergeAll's candidate union
 }
 
-// opFootprint returns the operand cells an op contributes: its inputs and
-// its output.
-func opFootprint(g *dfg.Graph, op dfg.NodeID) []dfg.NodeID {
-	return append(g.OpInputs(op), g.OpOutput(op))
+// opFootprint appends the operand cells an op contributes — its inputs and
+// its output — to buf.
+func opFootprint(g *dfg.Graph, op dfg.NodeID, buf []dfg.NodeID) []dfg.NodeID {
+	buf = g.AppendOpInputs(op, buf)
+	return append(buf, g.OpOutput(op))
 }
 
 // findClusters partitions the op nodes into clusters whose footprints fit a
 // column (C_maxSize), then greedily merges down toward k clusters. It
 // returns the clusters as ordered op lists; every op appears exactly once.
 func findClusters(g *dfg.Graph, opt Options, maxSize, k int) ([][]dfg.NodeID, error) {
+	n := g.NumNodes()
 	c := &clusterer{
 		g:         g,
-		bl:        g.BLevels(),
+		bl:        g.BLevelsDense(),
+		numNodes:  n,
 		maxSize:   maxSize,
 		opt:       opt,
-		clusters:  make(map[int]*cluster),
-		opCluster: make(map[dfg.NodeID]int),
+		opCluster: make([]int32, n),
+		union:     bitvec.New(n),
+	}
+	for i := range c.opCluster {
+		c.opCluster[i] = -1
 	}
 	for _, op := range g.OpsByPriority() {
 		if err := c.assign(op); err != nil {
@@ -72,39 +96,47 @@ func findClusters(g *dfg.Graph, opt Options, maxSize, k int) ([][]dfg.NodeID, er
 	return c.ordered(), nil
 }
 
-func (c *clusterer) newCluster(op dfg.NodeID) {
-	cl := &cluster{id: c.nextID, footprint: make(map[dfg.NodeID]struct{})}
-	c.nextID++
-	cl.add(op, opFootprint(c.g, op))
-	c.clusters[cl.id] = cl
-	c.opCluster[op] = cl.id
+func (c *clusterer) newCluster(op dfg.NodeID, fp []dfg.NodeID) {
+	cl := &cluster{id: len(c.clusters), footprint: bitvec.New(c.numNodes)}
+	cl.add(op, fp)
+	c.clusters = append(c.clusters, cl)
+	c.live++
+	c.opCluster[op] = int32(cl.id)
 }
 
 // assign places one op node following the case analysis of Sec. 3.3.1.
 // Because predecessors always have strictly higher b-levels, they are
 // already assigned when the node is visited.
 func (c *clusterer) assign(op dfg.NodeID) error {
-	fp := opFootprint(c.g, op)
+	c.fpBuf = opFootprint(c.g, op, c.fpBuf[:0])
+	fp := c.fpBuf
 	if len(fp) > c.maxSize {
 		return fmt.Errorf("mapping: op %q needs %d cells, column holds %d", c.g.Name(op), len(fp), c.maxSize)
 	}
-	preds := c.g.OpPreds(op)
+	c.predBuf = c.g.AppendOpPreds(op, c.predBuf[:0])
+	preds := c.predBuf
 	if len(preds) == 0 {
-		c.newCluster(op)
+		c.newCluster(op, fp)
 		return nil
 	}
 
-	// Distinct predecessor clusters, in deterministic order.
-	seen := make(map[int]bool)
-	var pcs []*cluster
+	// Distinct predecessor clusters, in deterministic (ascending id) order.
+	pcs := c.pcsBuf[:0]
 	for _, p := range preds {
 		id := c.opCluster[p]
-		if !seen[id] {
-			seen[id] = true
+		dup := false
+		for _, pc := range pcs {
+			if pc.id == int(id) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			pcs = append(pcs, c.clusters[id])
 		}
 	}
-	sort.Slice(pcs, func(i, j int) bool { return pcs[i].id < pcs[j].id })
+	slices.SortFunc(pcs, func(a, b *cluster) int { return a.id - b.id })
+	c.pcsBuf = pcs
 
 	// Case 2 (generalized): when several predecessor clusters can merge
 	// into one column together with the node, do so — this removes the
@@ -112,7 +144,7 @@ func (c *clusterer) assign(op dfg.NodeID) error {
 	if len(pcs) > 1 {
 		if merged := c.tryMergeAll(pcs, fp); merged != nil {
 			merged.add(op, fp)
-			c.opCluster[op] = merged.id
+			c.opCluster[op] = int32(merged.id)
 			return nil
 		}
 	}
@@ -131,25 +163,31 @@ func (c *clusterer) assign(op dfg.NodeID) error {
 		}
 	}
 	if best == nil {
-		c.newCluster(op)
+		c.newCluster(op, fp)
 		return nil
 	}
 	best.add(op, fp)
-	c.opCluster[op] = best.id
+	c.opCluster[op] = int32(best.id)
 	return nil
 }
 
+// tryMergeAll checks whether all predecessor clusters plus the op's own
+// footprint fit one column, and if so merges them. The candidate union is
+// word-wide ORs into a scratch bitset — nothing is modified unless the
+// merge is committed.
 func (c *clusterer) tryMergeAll(pcs []*cluster, fp []dfg.NodeID) *cluster {
-	union := make(map[dfg.NodeID]struct{})
-	for _, pc := range pcs {
-		for x := range pc.footprint {
-			union[x] = struct{}{}
+	c.union.CopyFrom(pcs[0].footprint)
+	for _, pc := range pcs[1:] {
+		c.union.OrWith(pc.footprint)
+	}
+	total := c.union.OnesCount()
+	for _, x := range fp {
+		if !c.union.Get(int(x)) {
+			c.union.Set(int(x), true)
+			total++
 		}
 	}
-	for _, x := range fp {
-		union[x] = struct{}{}
-	}
-	if len(union) > c.maxSize {
+	if total > c.maxSize {
 		return nil
 	}
 	dst := pcs[0]
@@ -162,13 +200,13 @@ func (c *clusterer) tryMergeAll(pcs []*cluster, fp []dfg.NodeID) *cluster {
 // absorb merges src into dst and deletes src.
 func (c *clusterer) absorb(dst, src *cluster) {
 	for _, op := range src.ops {
-		c.opCluster[op] = dst.id
+		c.opCluster[op] = int32(dst.id)
 	}
 	dst.ops = append(dst.ops, src.ops...)
-	for x := range src.footprint {
-		dst.footprint[x] = struct{}{}
-	}
-	delete(c.clusters, src.id)
+	dst.footprint.OrWith(src.footprint)
+	dst.size = dst.footprint.OnesCount()
+	c.clusters[src.id] = nil
+	c.live--
 }
 
 // score implements Eq. 1. The default form follows the paper's prose:
@@ -181,7 +219,7 @@ func (c *clusterer) score(op dfg.NodeID, pc *cluster, preds []dfg.NodeID) float6
 	if c.opt.PaperEq1 {
 		sum := 0.0
 		for _, q := range preds {
-			if c.opCluster[q] == pc.id {
+			if c.opCluster[q] == int32(pc.id) {
 				sum += float64(c.bl[q] - c.bl[op])
 			}
 		}
@@ -189,7 +227,7 @@ func (c *clusterer) score(op dfg.NodeID, pc *cluster, preds []dfg.NodeID) float6
 	}
 	affinity := 0.0
 	for _, q := range preds {
-		if c.opCluster[q] == pc.id {
+		if c.opCluster[q] == int32(pc.id) {
 			rho := float64(c.bl[q] - c.bl[op])
 			affinity += 1 / (1 + rho)
 		}
@@ -230,68 +268,96 @@ func (h *pairHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h 
 
 // mergeClusters greedily merges the most-dependent cluster pairs (data-flow
 // edges plus shared operands) until at most k clusters remain or nothing
-// more fits in a column.
+// more fits in a column. Pair weights are gathered by sorted-pair
+// accumulation: every dependence occurrence appends one pairKey (direct
+// data-flow edges append two, keeping their historical weight of 2), the
+// pair list is sorted once, and equal runs become weighted edges — no
+// per-operand set allocation.
 func (c *clusterer) mergeClusters(k int) {
-	if len(c.clusters) <= k {
+	if c.live <= k {
 		return
 	}
-	// Pair weights from op-level data-flow edges and shared inputs.
-	weights := make(map[pairKey]int)
+	var pairs []pairKey
+	var idBuf []int32
+	var opBuf []dfg.NodeID
 	for _, op := range c.g.OpNodes() {
-		a := c.opCluster[op]
-		for _, s := range c.g.OpSuccs(op) {
-			if b := c.opCluster[s]; b != a {
-				weights[makePair(a, b)] += 2 // direct dependency
+		a := int(c.opCluster[op])
+		// Distinct successor ops (consumers of op's output).
+		opBuf = c.g.AppendConsumers(c.g.OpOutput(op), opBuf[:0])
+		for i, s := range opBuf {
+			dup := false
+			for _, q := range opBuf[:i] {
+				if q == s {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if b := int(c.opCluster[s]); b != a {
+				pk := makePair(a, b)
+				pairs = append(pairs, pk, pk) // direct dependency: weight 2
 			}
 		}
 	}
 	// Shared operands (two clusters reading the same value).
 	for _, operand := range c.g.Operands() {
-		consumers := c.g.Consumers(operand)
-		ids := make(map[int]bool)
-		for _, cons := range consumers {
-			ids[c.opCluster[cons]] = true
+		opBuf = c.g.AppendConsumers(operand, opBuf[:0])
+		idBuf = idBuf[:0]
+		for _, cons := range opBuf {
+			id := c.opCluster[cons]
+			if !slices.Contains(idBuf, id) {
+				idBuf = append(idBuf, id)
+			}
 		}
-		list := make([]int, 0, len(ids))
-		for id := range ids {
-			list = append(list, id)
-		}
-		sort.Ints(list)
-		for i := 0; i < len(list); i++ {
-			for j := i + 1; j < len(list); j++ {
-				weights[makePair(list[i], list[j])]++
+		slices.Sort(idBuf)
+		for i := 0; i < len(idBuf); i++ {
+			for j := i + 1; j < len(idBuf); j++ {
+				pairs = append(pairs, pairKey{int(idBuf[i]), int(idBuf[j])})
 			}
 		}
 	}
+	slices.SortFunc(pairs, func(x, y pairKey) int {
+		if x.a != y.a {
+			return x.a - y.a
+		}
+		return x.b - y.b
+	})
 
 	// Adjacency view for O(degree) weight folding on merge.
-	adj := make(map[int]map[int]int, len(c.clusters))
+	adj := make(map[int]map[int]int, c.live)
 	addEdge := func(a, b, w int) {
 		if adj[a] == nil {
 			adj[a] = make(map[int]int)
 		}
 		adj[a][b] += w
 	}
-	h := make(pairHeap, 0, len(weights))
-	for key, w := range weights {
+	h := make(pairHeap, 0, len(pairs))
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
+		}
+		key, w := pairs[i], j-i
 		addEdge(key.a, key.b, w)
 		addEdge(key.b, key.a, w)
 		h = append(h, pairItem{key: key, weight: w})
+		i = j
 	}
 	heap.Init(&h)
 
-	for len(c.clusters) > k && h.Len() > 0 {
+	for c.live > k && h.Len() > 0 {
 		it := heap.Pop(&h).(pairItem)
 		a, b := it.key.a, it.key.b
-		ca, okA := c.clusters[a]
-		cb, okB := c.clusters[b]
-		if !okA || !okB {
+		ca, cb := c.clusters[a], c.clusters[b]
+		if ca == nil || cb == nil {
 			continue // one side already merged away
 		}
 		if adj[a][b] != it.weight {
 			continue // stale weight; a fresher entry exists
 		}
-		if ca.footprintWith(keys(cb.footprint)) > c.maxSize {
+		if bitvec.UnionOnesCount(ca.footprint, cb.footprint) > c.maxSize {
 			// Footprints only grow; this pair can never merge. Drop it.
 			delete(adj[a], b)
 			delete(adj[b], a)
@@ -313,25 +379,14 @@ func (c *clusterer) mergeClusters(k int) {
 	}
 }
 
-func keys(m map[dfg.NodeID]struct{}) []dfg.NodeID {
-	out := make([]dfg.NodeID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
-}
-
-// ordered returns the surviving clusters' op lists, clusters sorted by id
-// and ops within a cluster left in insertion (priority) order.
+// ordered returns the surviving clusters' op lists, clusters in ascending
+// id order and ops within a cluster left in insertion (priority) order.
 func (c *clusterer) ordered() [][]dfg.NodeID {
-	ids := make([]int, 0, len(c.clusters))
-	for id := range c.clusters {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	out := make([][]dfg.NodeID, len(ids))
-	for i, id := range ids {
-		out[i] = c.clusters[id].ops
+	out := make([][]dfg.NodeID, 0, c.live)
+	for _, cl := range c.clusters {
+		if cl != nil {
+			out = append(out, cl.ops)
+		}
 	}
 	return out
 }

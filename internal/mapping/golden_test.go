@@ -1,0 +1,69 @@
+package mapping_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sherlock/internal/dfg"
+	"sherlock/internal/layout"
+	"sherlock/internal/mapping"
+	"sherlock/internal/workloads/aes"
+	"sherlock/internal/workloads/bitweaving"
+	"sherlock/internal/workloads/sobel"
+)
+
+// TestGoldenPrograms pins the exact instruction text both mappers emit for a
+// representative workload set (single- and multi-array targets, with and
+// without row recycling). The golden files under testdata were generated
+// before the allocation-free fast path landed, so a pass here proves the
+// rewritten hazard analysis, merge bucketing, and cluster engine reproduce
+// the historical output byte for byte. Regenerate deliberately with
+// `go run ./internal/mapping/goldengen internal/mapping/testdata`.
+func TestGoldenPrograms(t *testing.T) {
+	must := func(g *dfg.Graph, err error) *dfg.Graph {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	cases := []struct {
+		name string
+		g    *dfg.Graph
+		opt  mapping.Options
+	}{
+		{"bitweaving", must(bitweaving.Build(bitweaving.Config{Bits: 16, Segments: 8})),
+			mapping.Options{Target: layout.Target{Arrays: 1, Rows: 256, Cols: 256}}},
+		{"sobel", must(sobel.Build(sobel.Config{TileW: 2, TileH: 2, PixelBits: 8, Threshold: 128})),
+			mapping.Options{Target: layout.Target{Arrays: 1, Rows: 128, Cols: 128}}},
+		{"sobel_recycle", must(sobel.Build(sobel.Config{TileW: 2, TileH: 2, PixelBits: 8, Threshold: 128})),
+			mapping.Options{Target: layout.Target{Arrays: 1, Rows: 64, Cols: 512}, RecycleRows: true}},
+		{"aes", must(aes.Build(aes.Config{Rounds: 2})),
+			mapping.Options{Target: layout.Target{Arrays: 4, Rows: 512, Cols: 512}}},
+	}
+	for _, c := range cases {
+		for _, mode := range []string{"naive", "opt"} {
+			t.Run(c.name+"/"+mode, func(t *testing.T) {
+				var res *mapping.Result
+				var err error
+				if mode == "naive" {
+					res, err = mapping.Naive(c.g, c.opt)
+				} else {
+					res, err = mapping.Optimized(c.g, c.opt)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := os.ReadFile(filepath.Join("testdata", c.name+"_"+mode+".golden"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.Program.String()
+				if got != string(want) {
+					t.Fatalf("emitted program differs from pinned golden (%d vs %d bytes); if the change is intentional, regenerate with `go run ./internal/mapping/goldengen internal/mapping/testdata`",
+						len(got), len(want))
+				}
+			})
+		}
+	}
+}

@@ -82,26 +82,60 @@ func (r *Result) OutputPlace(output dfg.NodeID) (layout.Place, error) {
 	return p, nil
 }
 
+// intArena hands out small []int backings for emitted instructions from
+// large chunks, collapsing the two allocations per instruction (Cols,
+// Rows) into one per few thousand. The chunks stay reachable from the
+// emitted program, which owns them from then on.
+type intArena struct {
+	free []int
+}
+
+func (a *intArena) alloc(n int) []int {
+	if len(a.free) < n {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		a.free = make([]int, size)
+	}
+	out := a.free[:n:n]
+	a.free = a.free[n:]
+	return out
+}
+
+func (a *intArena) one(x int) []int {
+	s := a.alloc(1)
+	s[0] = x
+	return s
+}
+
 // emitter holds the shared code-generation state of both mappers.
 type emitter struct {
 	g      *dfg.Graph
 	lay    *layout.Layout
 	prog   isa.Program
 	copies int
+	arena  intArena
+
+	// Reusable per-op scratch for the mapper loops.
+	insBuf    []dfg.NodeID
+	placesBuf []layout.Place
+	retireBuf []dfg.NodeID
 
 	// Row recycling (Options.RecycleRows): remaining consumer count per
-	// operand; when it reaches zero for a non-output operand, its cells
-	// are released for reuse.
-	consumersLeft map[dfg.NodeID]int
+	// operand (indexed by NodeID, nil when recycling is off); when it
+	// reaches zero for a non-output operand, its cells are released for
+	// reuse.
+	consumersLeft []int32
 }
 
 func newEmitter(g *dfg.Graph, t layout.Target, recycle, wearLevel bool) *emitter {
 	e := &emitter{g: g, lay: layout.New(t)}
 	e.lay.WearLeveling = wearLevel
 	if recycle {
-		e.consumersLeft = make(map[dfg.NodeID]int)
+		e.consumersLeft = make([]int32, g.NumNodes())
 		for _, operand := range g.Operands() {
-			e.consumersLeft[operand] = len(g.Consumers(operand))
+			e.consumersLeft[operand] = int32(g.NumConsumers(operand))
 		}
 	}
 	return e
@@ -114,7 +148,8 @@ func (e *emitter) retireInputs(op dfg.NodeID) {
 	if e.consumersLeft == nil {
 		return
 	}
-	for _, in := range e.g.OpInputs(op) {
+	e.retireBuf = e.g.AppendOpInputs(op, e.retireBuf[:0])
+	for _, in := range e.retireBuf {
 		e.consumersLeft[in]--
 		if e.consumersLeft[in] == 0 && !e.g.IsOutput(in) {
 			e.lay.Release(in)
@@ -152,8 +187,8 @@ func (e *emitter) ensureInColumn(operand dfg.NodeID, col layout.ColumnRef) (layo
 		err = e.emit(isa.Instruction{
 			Kind:     isa.KindWrite,
 			Array:    p.Array,
-			Cols:     []int{p.Col},
-			Rows:     []int{p.Row},
+			Cols:     e.arena.one(p.Col),
+			Rows:     e.arena.one(p.Row),
 			Bindings: []string{e.g.Name(operand)},
 		})
 		return p, err
@@ -167,8 +202,8 @@ func (e *emitter) ensureInColumn(operand dfg.NodeID, col layout.ColumnRef) (layo
 	if err := e.emit(isa.Instruction{
 		Kind:  isa.KindRead,
 		Array: home.Array,
-		Cols:  []int{home.Col},
-		Rows:  []int{home.Row},
+		Cols:  e.arena.one(home.Col),
+		Rows:  e.arena.one(home.Row),
 	}); err != nil {
 		return layout.Place{}, err
 	}
@@ -205,8 +240,8 @@ func (e *emitter) emitAlignAndWrite(srcArray, srcCol int, dst layout.Place) erro
 	w := isa.Instruction{
 		Kind:  isa.KindWrite,
 		Array: dst.Array,
-		Cols:  []int{dst.Col},
-		Rows:  []int{dst.Row},
+		Cols:  e.arena.one(dst.Col),
+		Rows:  e.arena.one(dst.Row),
 	}
 	if dst.Array != srcArray {
 		w.HasSrcArray, w.SrcArray = true, srcArray
@@ -229,8 +264,8 @@ func (e *emitter) emitOp(op dfg.NodeID, col layout.ColumnRef, inputPlaces []layo
 		if err := e.emit(isa.Instruction{
 			Kind:  isa.KindRead,
 			Array: in.Array,
-			Cols:  []int{in.Col},
-			Rows:  []int{in.Row},
+			Cols:  e.arena.one(in.Col),
+			Rows:  e.arena.one(in.Row),
 		}); err != nil {
 			return err
 		}
@@ -238,7 +273,7 @@ func (e *emitter) emitOp(op dfg.NodeID, col layout.ColumnRef, inputPlaces []layo
 			if err := e.emit(isa.Instruction{
 				Kind:  isa.KindNot,
 				Array: in.Array,
-				Cols:  []int{in.Col},
+				Cols:  e.arena.one(in.Col),
 			}); err != nil {
 				return err
 			}
@@ -246,7 +281,7 @@ func (e *emitter) emitOp(op dfg.NodeID, col layout.ColumnRef, inputPlaces []layo
 		return e.emitAlignAndWrite(in.Array, in.Col, outPlace)
 	}
 
-	rows := make([]int, len(inputPlaces))
+	rows := e.arena.alloc(len(inputPlaces))
 	for i, p := range inputPlaces {
 		if p.Array != col.Array || p.Col != col.Col {
 			return fmt.Errorf("mapping: operand of %q not in sense column", e.g.Name(op))
@@ -262,7 +297,7 @@ func (e *emitter) emitOp(op dfg.NodeID, col layout.ColumnRef, inputPlaces []layo
 	if err := e.emit(isa.Instruction{
 		Kind:  isa.KindRead,
 		Array: col.Array,
-		Cols:  []int{col.Col},
+		Cols:  e.arena.one(col.Col),
 		Rows:  rows,
 		Ops:   []logic.Op{t},
 	}); err != nil {
@@ -271,8 +306,8 @@ func (e *emitter) emitOp(op dfg.NodeID, col layout.ColumnRef, inputPlaces []layo
 	return e.emit(isa.Instruction{
 		Kind:  isa.KindWrite,
 		Array: outPlace.Array,
-		Cols:  []int{outPlace.Col},
-		Rows:  []int{outPlace.Row},
+		Cols:  e.arena.one(outPlace.Col),
+		Rows:  e.arena.one(outPlace.Row),
 	})
 }
 

@@ -269,7 +269,7 @@ func TestClustersPartitionOps(t *testing.T) {
 	for ci, ops := range clusters {
 		fp := make(map[dfg.NodeID]struct{})
 		for _, op := range ops {
-			for _, x := range opFootprint(g, op) {
+			for _, x := range opFootprint(g, op, nil) {
 				fp[x] = struct{}{}
 			}
 		}

@@ -1,0 +1,92 @@
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/sim"
+)
+
+// TestMergeInstructionsDifferential fuzzes the instruction merger against
+// the strict-mode machine: for many random graphs and random input vectors,
+// the unmerged and merged programs must leave every cell of the array in the
+// same (value, defined) state and must agree on whether execution errors.
+// This complements the golden tests — those pin the merger's output text,
+// this pins its semantics on programs the golden set never exercises.
+func TestMergeInstructionsDifferential(t *testing.T) {
+	targets := []layout.Target{
+		{Arrays: 1, Rows: 16, Cols: 32},
+		{Arrays: 2, Rows: 24, Cols: 16},
+		{Arrays: 3, Rows: 32, Cols: 8},
+	}
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	ran := 0
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(seed, 3+rng.Intn(5), 10+rng.Intn(30))
+		target := targets[trial%len(targets)]
+		opt := Options{Target: target, RecycleRows: trial%2 == 1}
+		res, err := Naive(g, opt)
+		if err != nil {
+			// Random graph exceeded the small target; not what this
+			// test is probing.
+			continue
+		}
+		merged, eliminated := MergeInstructions(res.Program)
+		if eliminated < 0 {
+			t.Fatalf("seed %d: negative elimination count %d", seed, eliminated)
+		}
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("seed %d: merged program invalid: %v", seed, err)
+		}
+		ran++
+		for vec := 0; vec < 3; vec++ {
+			inputs := make(map[string]bool)
+			for _, name := range g.InputNames() {
+				inputs[name] = rng.Intn(2) == 1
+			}
+			if err := diffRun(target, res.Program, merged, inputs); err != nil {
+				t.Fatalf("seed %d vector %d: %v", seed, vec, err)
+			}
+		}
+	}
+	if ran < trials/2 {
+		t.Fatalf("only %d/%d random graphs fit their targets; widen the targets", ran, trials)
+	}
+}
+
+// diffRun executes both programs on fresh strict-mode machines and compares
+// error outcomes and the complete cell state.
+func diffRun(target layout.Target, before, after isa.Program, inputs map[string]bool) error {
+	m1 := sim.NewMachine(target)
+	err1 := m1.Run(before, inputs)
+	m2 := sim.NewMachine(target)
+	err2 := m2.Run(after, inputs)
+	if (err1 == nil) != (err2 == nil) {
+		return fmt.Errorf("strict-mode disagreement: unmerged err=%v, merged err=%v", err1, err2)
+	}
+	if err1 != nil {
+		return nil // both rejected; nothing further to compare
+	}
+	for a := 0; a < target.Arrays; a++ {
+		for c := 0; c < target.Cols; c++ {
+			for r := 0; r < target.Rows; r++ {
+				p := layout.Place{Array: a, Col: c, Row: r}
+				v1, d1 := m1.Cell(p)
+				v2, d2 := m2.Cell(p)
+				if v1 != v2 || d1 != d2 {
+					return fmt.Errorf("cell %v diverged: unmerged (%v,%v), merged (%v,%v)",
+						p, v1, d1, v2, d2)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -38,7 +38,8 @@ func Naive(g *dfg.Graph, opt Options) (*Result, error) {
 }
 
 func naiveMapOp(e *emitter, op dfg.NodeID, cursor *columnSeq) error {
-	ins := e.g.OpInputs(op)
+	e.insBuf = e.g.AppendOpInputs(op, e.insBuf[:0])
+	ins := e.insBuf
 
 	col, err := naiveChooseColumn(e, ins, cursor)
 	if err != nil {
@@ -52,18 +53,19 @@ func naiveMapOp(e *emitter, op dfg.NodeID, cursor *columnSeq) error {
 		if err != nil {
 			return err
 		}
-		return e.emitOp(op, col, []layout.Place{p})
+		e.placesBuf = append(e.placesBuf[:0], p)
+		return e.emitOp(op, col, e.placesBuf)
 	}
 
-	places := make([]layout.Place, len(ins))
-	for i, in := range ins {
+	e.placesBuf = e.placesBuf[:0]
+	for _, in := range ins {
 		p, err := e.ensureInColumn(in, col)
 		if err != nil {
 			return err
 		}
-		places[i] = p
+		e.placesBuf = append(e.placesBuf, p)
 	}
-	return e.emitOp(op, col, places)
+	return e.emitOp(op, col, e.placesBuf)
 }
 
 // naiveChooseColumn realizes the blind cursor semantics of Algorithm 1

@@ -31,7 +31,7 @@ func Optimized(g *dfg.Graph, opt Options) (*Result, error) {
 	}
 
 	// Column assignment: cluster i -> i-th column in array-major order.
-	colOf := make(map[dfg.NodeID]layout.ColumnRef, len(g.OpNodes()))
+	colOf := make([]layout.ColumnRef, g.NumNodes())
 	for i, ops := range clusters {
 		col, err := columnAt(t, i)
 		if err != nil {
@@ -48,27 +48,29 @@ func Optimized(g *dfg.Graph, opt Options) (*Result, error) {
 	e := newEmitter(g, t, opt.RecycleRows, opt.WearLeveling)
 	for _, op := range g.OpsByPriority() {
 		col := colOf[op]
+		e.insBuf = g.AppendOpInputs(op, e.insBuf[:0])
+		ins := e.insBuf
 		if g.OpType(op).IsUnary() {
-			p, err := e.inputPlace(g.OpInputs(op)[0], col)
+			p, err := e.inputPlace(ins[0], col)
 			if err != nil {
 				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 			}
-			if err := e.emitOp(op, col, []layout.Place{p}); err != nil {
+			e.placesBuf = append(e.placesBuf[:0], p)
+			if err := e.emitOp(op, col, e.placesBuf); err != nil {
 				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 			}
 			e.retireInputs(op)
 			continue
 		}
-		ins := g.OpInputs(op)
-		places := make([]layout.Place, len(ins))
-		for i, in := range ins {
+		e.placesBuf = e.placesBuf[:0]
+		for _, in := range ins {
 			p, err := e.ensureInColumn(in, col)
 			if err != nil {
 				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 			}
-			places[i] = p
+			e.placesBuf = append(e.placesBuf, p)
 		}
-		if err := e.emitOp(op, col, places); err != nil {
+		if err := e.emitOp(op, col, e.placesBuf); err != nil {
 			return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 		}
 		e.retireInputs(op)

@@ -1,9 +1,11 @@
 package mapping
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"bytes"
+	"math"
+	"slices"
+	"strconv"
+	"sync"
 
 	"sherlock/internal/isa"
 	"sherlock/internal/logic"
@@ -24,163 +26,436 @@ import (
 //   - row-buffer NOTs on the same array.
 //
 // It returns the merged program and the number of instructions eliminated.
+//
+// The pass runs on dense data structures throughout: hazard state lives in
+// flat arrays indexed by interned resource IDs (see isa.Space), merge
+// signatures are comparable structs bucketed by hash, and all per-level
+// scratch is pooled — one call allocates only the output program. Bucket
+// order within a level reproduces the lexicographic order of the
+// historical fmt.Sprintf keys bit-for-bit, so emitted programs are
+// byte-identical to the string-keyed implementation.
 func MergeInstructions(p isa.Program) (isa.Program, int) {
 	if len(p) == 0 {
 		return p, 0
 	}
 	levels := scheduleLevels(p)
 
-	// Group instruction indices by level in one pass.
+	ms := mergePool.Get().(*mergeScratch)
+	defer mergePool.Put(ms)
+
+	// Group instruction indices by level with one counting sort.
 	maxLevel := 0
 	for _, l := range levels {
 		if l > maxLevel {
 			maxLevel = l
 		}
 	}
-	byLevel := make([][]int, maxLevel+1)
+	ms.levelStart = grow(ms.levelStart, maxLevel+2)
+	for i := range ms.levelStart {
+		ms.levelStart[i] = 0
+	}
+	for _, l := range levels {
+		ms.levelStart[l+1]++
+	}
+	for l := 1; l < len(ms.levelStart); l++ {
+		ms.levelStart[l] += ms.levelStart[l-1]
+	}
+	ms.byLevel = grow(ms.byLevel, len(p))
+	ms.cursor = grow(ms.cursor, maxLevel+1)
+	copy(ms.cursor, ms.levelStart[:maxLevel+1])
 	for i, l := range levels {
-		byLevel[l] = append(byLevel[l], i)
+		ms.byLevel[ms.cursor[l]] = int32(i)
+		ms.cursor[l]++
 	}
 
-	var out isa.Program
-	for _, idxs := range byLevel {
-		buckets := make(map[string][]isa.Instruction)
-		var keysInOrder []string
-		for _, i := range idxs {
-			k := mergeKey(p[i], i)
-			if _, seen := buckets[k]; !seen {
-				keysInOrder = append(keysInOrder, k)
-			}
-			buckets[k] = append(buckets[k], p[i])
-		}
-		sort.Strings(keysInOrder)
-		for _, k := range keysInOrder {
-			out = append(out, mergeBucket(buckets[k])...)
-		}
+	out := make(isa.Program, 0, len(p))
+	for l := 0; l <= maxLevel; l++ {
+		idxs := ms.byLevel[ms.levelStart[l]:ms.levelStart[l+1]]
+		out = ms.mergeLevel(out, p, idxs)
 	}
 	return out, len(p) - len(out)
 }
 
-// mergeKey groups mergeable instructions; instructions with unique keys
-// pass through unmerged.
-func mergeKey(in isa.Instruction, idx int) string {
+// mergeSig is the comparable bucket key replacing the historical
+// "R/%d/%s"-style strings. Reads discriminate on the hashed row set (with
+// a salt that splits the astronomically unlikely hash collision), writes
+// on destination row and data source, shifts on their own index so they
+// never merge.
+type mergeSig struct {
+	kind     isa.Kind
+	array    int32
+	row      int32  // writes: destination row
+	src      int32  // writes: srcBuf, srcHost, or the source array id
+	rowsLen  int32  // reads: number of activated rows
+	rowsHash uint64 // reads: FNV-1a over the row list
+	salt     int32  // reads: bumped on hash collision with different rows
+	shiftIdx int32  // shifts: instruction index (unique bucket)
+}
+
+// Write data-source classes. Their numeric order is irrelevant — ordering
+// goes through srcRank which reproduces the "buf" < "host" < "x%d" string
+// order.
+const (
+	srcBuf  int32 = -1
+	srcHost int32 = -2
+)
+
+func makeSig(in *isa.Instruction, idx int) mergeSig {
 	switch in.Kind {
 	case isa.KindRead:
-		return fmt.Sprintf("R/%d/%s", in.Array, joinRows(in.Rows))
-	case isa.KindWrite:
-		src := "buf"
-		if in.IsHostWrite() {
-			src = "host"
-		} else if in.HasSrcArray {
-			src = fmt.Sprintf("x%d", in.SrcArray)
+		h := uint64(14695981039346656037) // FNV-1a offset basis
+		for _, r := range in.Rows {
+			h ^= uint64(r)
+			h *= 1099511628211
 		}
-		return fmt.Sprintf("W/%d/%d/%s", in.Array, in.Rows[0], src)
+		return mergeSig{kind: isa.KindRead, array: int32(in.Array), rowsLen: int32(len(in.Rows)), rowsHash: h}
+	case isa.KindWrite:
+		src := srcBuf
+		if in.IsHostWrite() {
+			src = srcHost
+		} else if in.HasSrcArray {
+			src = int32(in.SrcArray)
+		}
+		return mergeSig{kind: isa.KindWrite, array: int32(in.Array), row: int32(in.Rows[0]), src: src}
 	case isa.KindNot:
-		return fmt.Sprintf("N/%d", in.Array)
+		return mergeSig{kind: isa.KindNot, array: int32(in.Array)}
 	default: // shifts never merge
-		return fmt.Sprintf("S/%06d", idx)
+		return mergeSig{kind: isa.KindShift, shiftIdx: int32(idx)}
 	}
 }
 
-func joinRows(rows []int) string {
-	parts := make([]string, len(rows))
-	for i, r := range rows {
-		parts[i] = fmt.Sprint(r)
+// kindRank returns the first byte of the historical string key, the
+// major sort criterion: 'N' < 'R' < 'S' < 'W'.
+func kindRank(k isa.Kind) byte {
+	switch k {
+	case isa.KindNot:
+		return 'N'
+	case isa.KindRead:
+		return 'R'
+	case isa.KindShift:
+		return 'S'
+	default:
+		return 'W'
 	}
-	return strings.Join(parts, ",")
 }
 
-// mergeBucket fuses one bucket of same-signature instructions. Columns
-// within a level are disjoint by dependence construction.
-func mergeBucket(ins []isa.Instruction) []isa.Instruction {
-	if len(ins) == 1 {
-		return ins
+// cmpIntLex compares two non-negative integers as their decimal strings
+// (so 10 < 2, matching the lexicographic order the string keys had). The
+// digit buffers live on the stack.
+func cmpIntLex(a, b int32) int {
+	if a == b {
+		return 0
 	}
-	base := ins[0]
-	type colData struct {
-		op      logic.Op
-		binding string
+	var ab, bb [12]byte
+	as := strconv.AppendInt(ab[:0], int64(a), 10)
+	bs := strconv.AppendInt(bb[:0], int64(b), 10)
+	return bytes.Compare(as, bs)
+}
+
+// cmpRowsLex compares two row lists the way their comma-joined decimal
+// strings compare. Element-wise decimal comparison is exact here because
+// ',' sorts below every digit, so a list that is a strict prefix of
+// another always compares lower — the same tie-break the joined string
+// had.
+func cmpRowsLex(a, b []int) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if c := cmpIntLex(int32(a[i]), int32(b[i])); c != 0 {
+			return c
+		}
 	}
-	cols := make(map[int]colData)
-	for _, in := range ins {
-		for i, c := range in.Cols {
-			d := colData{}
+	return len(a) - len(b)
+}
+
+// srcRank maps a write's data source to its position in the historical
+// "buf" < "host" < "x%d" string order.
+func srcRank(src int32) int {
+	switch src {
+	case srcBuf:
+		return 0
+	case srcHost:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// bucketInfo is one merge bucket of a level: its signature, the
+// representative row list (reads), and its member range in the scratch
+// member array.
+type bucketInfo struct {
+	sig   mergeSig
+	rows  []int // rows of the first member; read buckets only
+	count int32
+	start int32
+	fill  int32
+}
+
+// cmpBuckets reproduces sort.Strings over the historical key strings.
+func cmpBuckets(a, b *bucketInfo) int {
+	ra, rb := kindRank(a.sig.kind), kindRank(b.sig.kind)
+	if ra != rb {
+		return int(ra) - int(rb)
+	}
+	switch a.sig.kind {
+	case isa.KindNot:
+		return cmpIntLex(a.sig.array, b.sig.array)
+	case isa.KindRead:
+		if c := cmpIntLex(a.sig.array, b.sig.array); c != 0 {
+			return c
+		}
+		return cmpRowsLex(a.rows, b.rows)
+	case isa.KindShift:
+		// Historical key was "S/%06d": zero-padded, so numeric order.
+		return int(a.sig.shiftIdx) - int(b.sig.shiftIdx)
+	default: // KindWrite
+		if c := cmpIntLex(a.sig.array, b.sig.array); c != 0 {
+			return c
+		}
+		if c := cmpIntLex(a.sig.row, b.sig.row); c != 0 {
+			return c
+		}
+		if c := srcRank(a.sig.src) - srcRank(b.sig.src); c != 0 {
+			return c
+		}
+		if srcRank(a.sig.src) == 2 {
+			return cmpIntLex(a.sig.src, b.sig.src)
+		}
+		return 0
+	}
+}
+
+// colEntry carries one column of a merging instruction with its scouting
+// op and host binding.
+type colEntry struct {
+	col     int
+	op      logic.Op
+	binding string
+}
+
+// mergeScratch is the pooled per-call state of MergeInstructions.
+type mergeScratch struct {
+	levelStart []int32
+	cursor     []int32
+	byLevel    []int32
+
+	lookup   map[mergeSig]int32
+	buckets  []bucketInfo
+	order    []int32
+	bucketOf []int32
+	members  []int32
+	cols     []colEntry
+}
+
+var mergePool = sync.Pool{New: func() any {
+	return &mergeScratch{lookup: make(map[mergeSig]int32)}
+}}
+
+func grow(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// mergeLevel buckets one level's instructions, orders the buckets like the
+// historical string keys, and appends the merged instructions to out.
+func (ms *mergeScratch) mergeLevel(out isa.Program, p isa.Program, idxs []int32) isa.Program {
+	clear(ms.lookup)
+	ms.buckets = ms.buckets[:0]
+	ms.bucketOf = grow(ms.bucketOf, len(idxs))
+
+	for j, i := range idxs {
+		in := &p[i]
+		sig := makeSig(in, int(i))
+		var ord int32
+		for {
+			b, seen := ms.lookup[sig]
+			if !seen {
+				ord = int32(len(ms.buckets))
+				bi := bucketInfo{sig: sig}
+				if in.Kind == isa.KindRead {
+					bi.rows = in.Rows
+				}
+				ms.buckets = append(ms.buckets, bi)
+				ms.lookup[sig] = ord
+				break
+			}
+			if in.Kind != isa.KindRead || slices.Equal(in.Rows, ms.buckets[b].rows) {
+				ord = b
+				break
+			}
+			sig.salt++ // same hash, different row set: probe the next slot
+		}
+		ms.bucketOf[j] = ord
+		ms.buckets[ord].count++
+	}
+
+	ms.order = grow(ms.order, len(ms.buckets))
+	for i := range ms.order {
+		ms.order[i] = int32(i)
+	}
+	slices.SortFunc(ms.order, func(a, b int32) int {
+		return cmpBuckets(&ms.buckets[a], &ms.buckets[b])
+	})
+
+	run := int32(0)
+	for _, ord := range ms.order {
+		b := &ms.buckets[ord]
+		b.start, b.fill = run, 0
+		run += b.count
+	}
+	ms.members = grow(ms.members, len(idxs))
+	for j, i := range idxs {
+		b := &ms.buckets[ms.bucketOf[j]]
+		ms.members[b.start+b.fill] = i
+		b.fill++
+	}
+
+	for _, ord := range ms.order {
+		b := &ms.buckets[ord]
+		out = ms.appendMerged(out, p, ms.members[b.start:b.start+b.count])
+	}
+	return out
+}
+
+// appendMerged fuses one bucket of same-signature instructions onto out.
+// Columns within a level are disjoint by dependence construction; a shared
+// column would be a scheduler bug, in which case the bucket passes through
+// unmerged (fail safe).
+func (ms *mergeScratch) appendMerged(out isa.Program, p isa.Program, idxs []int32) isa.Program {
+	if len(idxs) == 1 {
+		return append(out, p[idxs[0]])
+	}
+	base := &p[idxs[0]]
+	cols := ms.cols[:0]
+	for _, ii := range idxs {
+		in := &p[ii]
+		for k, c := range in.Cols {
+			ce := colEntry{col: c}
 			if len(in.Ops) > 0 {
-				d.op = in.Ops[i]
+				ce.op = in.Ops[k]
 			}
 			if in.Bindings != nil {
-				d.binding = in.Bindings[i]
+				ce.binding = in.Bindings[k]
 			}
-			if _, dup := cols[c]; dup {
-				// Shared column inside one level would be a scheduler
-				// bug; fail safe by not merging at all.
-				return ins
-			}
-			cols[c] = d
+			cols = append(cols, ce)
 		}
 	}
-	sorted := make([]int, 0, len(cols))
-	for c := range cols {
-		sorted = append(sorted, c)
+	slices.SortFunc(cols, func(a, b colEntry) int { return a.col - b.col })
+	ms.cols = cols
+	for i := 1; i < len(cols); i++ {
+		if cols[i].col == cols[i-1].col {
+			for _, ii := range idxs {
+				out = append(out, p[ii])
+			}
+			return out
+		}
 	}
-	sort.Ints(sorted)
 
 	merged := isa.Instruction{
 		Kind:        base.Kind,
 		Array:       base.Array,
 		Rows:        base.Rows,
-		Cols:        sorted,
 		Right:       base.Right,
 		ShiftBy:     base.ShiftBy,
 		HasSrcArray: base.HasSrcArray,
 		SrcArray:    base.SrcArray,
 	}
+	merged.Cols = make([]int, len(cols))
+	for i, ce := range cols {
+		merged.Cols[i] = ce.col
+	}
 	if len(base.Ops) > 0 {
-		merged.Ops = make([]logic.Op, len(sorted))
-		for i, c := range sorted {
-			merged.Ops[i] = cols[c].op
+		merged.Ops = make([]logic.Op, len(cols))
+		for i, ce := range cols {
+			merged.Ops[i] = ce.op
 		}
 	}
 	if base.Bindings != nil {
-		merged.Bindings = make([]string, len(sorted))
-		for i, c := range sorted {
-			merged.Bindings[i] = cols[c].binding
+		merged.Bindings = make([]string, len(cols))
+		for i, ce := range cols {
+			merged.Bindings[i] = ce.binding
 		}
 	}
-	return []isa.Instruction{merged}
+	return append(out, merged)
+}
+
+// hazardScratch is the pooled, epoch-stamped flat hazard state of
+// scheduleLevels. An entry is live only when its generation stamp matches
+// the current pass, so reusing the arrays across programs costs no
+// clearing.
+type hazardScratch struct {
+	gen         int32
+	writerGen   []int32
+	readerGen   []int32
+	writerLevel []int32
+	readerLevel []int32
+
+	reads, writes []int32
+}
+
+var hazardPool = sync.Pool{New: func() any { return new(hazardScratch) }}
+
+func (h *hazardScratch) begin(size int) {
+	if cap(h.writerGen) < size {
+		h.writerGen = make([]int32, size)
+		h.readerGen = make([]int32, size)
+		h.writerLevel = make([]int32, size)
+		h.readerLevel = make([]int32, size)
+		h.gen = 0
+	}
+	h.writerGen = h.writerGen[:size]
+	h.readerGen = h.readerGen[:size]
+	h.writerLevel = h.writerLevel[:size]
+	h.readerLevel = h.readerLevel[:size]
+	if h.gen == math.MaxInt32 {
+		for i := range h.writerGen {
+			h.writerGen[i] = 0
+			h.readerGen[i] = 0
+		}
+		h.gen = 0
+	}
+	h.gen++
 }
 
 // scheduleLevels assigns each instruction its ASAP dependence level.
+// Resources are interned into dense IDs (isa.Space) and the last-writer /
+// latest-reader tables are flat arrays, so one pass over the program does
+// zero per-instruction allocation.
 func scheduleLevels(p isa.Program) []int {
-	bufCols := p.MaxCol()
+	space := p.ResourceSpace()
+	h := hazardPool.Get().(*hazardScratch)
+	defer hazardPool.Put(h)
+	h.begin(space.Size())
+
 	levels := make([]int, len(p))
-	lastWriter := make(map[isa.Resource]int)
-	lastReaders := make(map[isa.Resource][]int)
-	for i, in := range p {
-		reads, writes := in.Accesses(bufCols)
-		lvl := 0
-		for _, r := range reads {
-			if w, ok := lastWriter[r]; ok && levels[w]+1 > lvl {
-				lvl = levels[w] + 1 // RAW
+	for i := range p {
+		in := &p[i]
+		h.reads, h.writes = in.AppendAccessIDs(space, h.reads[:0], h.writes[:0])
+		lvl := int32(0)
+		for _, r := range h.reads {
+			if h.writerGen[r] == h.gen && h.writerLevel[r]+1 > lvl {
+				lvl = h.writerLevel[r] + 1 // RAW
 			}
 		}
-		for _, r := range writes {
-			if w, ok := lastWriter[r]; ok && levels[w]+1 > lvl {
-				lvl = levels[w] + 1 // WAW
+		for _, r := range h.writes {
+			if h.writerGen[r] == h.gen && h.writerLevel[r]+1 > lvl {
+				lvl = h.writerLevel[r] + 1 // WAW
 			}
-			for _, rd := range lastReaders[r] {
-				if levels[rd]+1 > lvl {
-					lvl = levels[rd] + 1 // WAR
-				}
+			if h.readerGen[r] == h.gen && h.readerLevel[r]+1 > lvl {
+				lvl = h.readerLevel[r] + 1 // WAR
 			}
 		}
-		levels[i] = lvl
-		for _, r := range reads {
-			lastReaders[r] = append(lastReaders[r], i)
+		levels[i] = int(lvl)
+		for _, r := range h.reads {
+			if h.readerGen[r] != h.gen || h.readerLevel[r] < lvl {
+				h.readerGen[r], h.readerLevel[r] = h.gen, lvl
+			}
 		}
-		for _, r := range writes {
-			lastWriter[r] = i
-			delete(lastReaders, r)
+		for _, r := range h.writes {
+			h.writerGen[r], h.writerLevel[r] = h.gen, lvl
+			h.readerGen[r] = 0 // a write retires all readers since the last write
 		}
 	}
 	return levels

@@ -41,18 +41,23 @@ func Schedule(p isa.Program, m *arraymodel.CostModel) ([]Event, Cost, error) {
 	if err != nil {
 		return nil, Cost{}, err
 	}
-	bufCols := p.MaxCol()
+	space := p.ResourceSpace()
 
-	arrayFree := make(map[int]float64)
+	arrayFree := make([]float64, space.Arrays)
 	busFree := 0.0
-	lastWriter := make(map[isa.Resource]float64)  // finish time of last writer
-	lastReaders := make(map[isa.Resource]float64) // latest finish among readers
+	// Hazard state lives in flat arrays indexed by dense resource ID; the
+	// zero value means "never touched", matching the map defaults the model
+	// used before.
+	lastWriter := make([]float64, space.Size())  // finish time of last writer
+	lastReaders := make([]float64, space.Size()) // latest finish among readers
+	var readBuf, writeBuf []int32
 
 	events := make([]Event, 0, len(p))
 	makespan := 0.0
 	for i, in := range p {
 		lat := instrLatency(in, m)
-		reads, writes := in.Accesses(bufCols)
+		reads, writes := in.AppendAccessIDs(space, readBuf[:0], writeBuf[:0])
+		readBuf, writeBuf = reads, writes
 
 		start := arrayFree[in.Array]
 		if in.HasSrcArray {
