@@ -490,6 +490,88 @@ func BenchmarkRunBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPredecode measures the one-time program -> micro-op decode that
+// Compiled.Run/RunBatch and the Monte-Carlo campaigns amortize: full
+// validation, offset resolution and instruction fusion in a single pass.
+func BenchmarkPredecode(b *testing.B) {
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 8, Segments: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := layout.Target{Arrays: 4, Rows: 128, Cols: 128}
+	res, err := mapping.Optimized(g, mapping.Options{Target: t})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ex *sim.Exec
+	for i := 0; i < b.N; i++ {
+		ex, err = sim.Predecode(res.Program, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Program)), "instructions")
+	b.ReportMetric(float64(ex.MicroOps()), "micro_ops")
+}
+
+// BenchmarkExecLaneBlock measures raw executor throughput on one decoded
+// program: the legacy interpreting LaneMachine (64 lanes per pass) against
+// ExecMachine lane blocks of 1 and 4 words (64 and 256 lanes per pass).
+// vectors_per_sec counts completed lanes.
+func BenchmarkExecLaneBlock(b *testing.B) {
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 8, Segments: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := layout.Target{Arrays: 4, Rows: 128, Cols: 128}
+	res, err := mapping.Optimized(g, mapping.Options{Target: t})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := sim.Predecode(res.Program, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+
+	b.Run("lanemachine64", func(b *testing.B) {
+		words := make(map[string]uint64, len(ex.InputNames()))
+		for _, n := range ex.InputNames() {
+			words[n] = rng.Uint64()
+		}
+		m := sim.NewLaneMachine(t, sim.WordLanes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset(sim.WordLanes)
+			if err := m.Run(res.Program, words); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(sim.WordLanes)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+	})
+	for _, blockWords := range []int{1, 4} {
+		b.Run(fmt.Sprintf("exec%dx64", blockWords), func(b *testing.B) {
+			m := ex.NewMachine(blockWords)
+			// An owned input slice survives Reset (which clears the
+			// machine's own InputBlock scratch).
+			in := make([]uint64, ex.NumSlots()*blockWords)
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset(m.MaxLanes())
+				if err := m.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.MaxLanes())*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+		})
+	}
+}
+
 // BenchmarkMonteCarloValidation runs the fault-injection campaign that
 // cross-checks the analytical P_app model, sequentially and sharded over
 // the worker pool (identical results either way; the wall-clock win

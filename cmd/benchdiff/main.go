@@ -1,0 +1,176 @@
+// Command benchdiff compares two `go test -bench` logs and flags
+// regressions, benchstat-style but dependency-free. It is wired into CI as
+// an advisory step: the bench-smoke log of the current commit is compared
+// against the committed baseline (bench-baseline.txt), and any benchmark
+// whose ns/op grew beyond the threshold is emitted as a GitHub Actions
+// ::warning annotation. The step never fails the build — single-iteration
+// smoke numbers on shared runners are noisy, so the annotations are a
+// prompt to re-measure, not a verdict.
+//
+// Usage:
+//
+//	benchdiff -base bench-baseline.txt -new bench-smoke.log [-threshold 1.20]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "baseline benchmark log (required)")
+		newPath   = flag.String("new", "", "current benchmark log (required)")
+		threshold = flag.Float64("threshold", 1.20, "regression ratio above which a warning is emitted")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
+		os.Exit(2)
+	}
+	base, err := parseFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	report(os.Stdout, diff(base, cur, *threshold))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+// result is one benchmark's ns/op, averaged over repeated lines (e.g.
+// -count=N logs).
+type result struct {
+	nsPerOp float64
+	lines   int
+}
+
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseLog(f)
+}
+
+// parseLog extracts ns/op per benchmark from `go test -bench` output. A
+// benchmark line looks like
+//
+//	BenchmarkName/sub-8   	 123	  456789 ns/op	  1.5 extra_metric
+//
+// The trailing -N GOMAXPROCS suffix is stripped so logs from machines with
+// different core counts stay comparable. Repeated names average.
+func parseLog(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		res := out[name]
+		res.nsPerOp += ns
+		res.lines++
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, res := range out {
+		res.nsPerOp /= float64(res.lines)
+		out[name] = res
+	}
+	return out, nil
+}
+
+// parseLine parses one benchmark output line, reporting ok=false for
+// anything else (headers, PASS/ok lines, metrics-only lines).
+func parseLine(line string) (name string, nsPerOp float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i < len(fields); i++ {
+		if fields[i] != "ns/op" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return name, v, true
+	}
+	return "", 0, false
+}
+
+// delta is one benchmark's comparison.
+type delta struct {
+	name       string
+	base, cur  float64
+	ratio      float64
+	regression bool
+}
+
+// diff compares every benchmark present in both logs. Benchmarks that
+// appear on only one side are skipped: new benchmarks have no baseline yet
+// and removed ones have nothing to regress.
+func diff(base, cur map[string]result, threshold float64) []delta {
+	var out []delta
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok || b.nsPerOp <= 0 {
+			continue
+		}
+		ratio := c.nsPerOp / b.nsPerOp
+		out = append(out, delta{
+			name:       name,
+			base:       b.nsPerOp,
+			cur:        c.nsPerOp,
+			ratio:      ratio,
+			regression: ratio > threshold,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ratio > out[j].ratio })
+	return out
+}
+
+func report(w io.Writer, deltas []delta) {
+	regressions := 0
+	for _, d := range deltas {
+		if d.regression {
+			regressions++
+			// GitHub Actions annotation syntax; plain text elsewhere.
+			fmt.Fprintf(w, "::warning title=benchmark regression::%s: %.0f ns/op -> %.0f ns/op (%+.0f%%)\n",
+				d.name, d.base, d.cur, 100*(d.ratio-1))
+		}
+	}
+	fmt.Fprintf(w, "benchdiff: %d benchmarks compared, %d above threshold\n", len(deltas), regressions)
+	for _, d := range deltas {
+		marker := " "
+		if d.regression {
+			marker = "!"
+		}
+		fmt.Fprintf(w, "%s %-60s %12.0f -> %12.0f ns/op  (%+.0f%%)\n",
+			marker, d.name, d.base, d.cur, 100*(d.ratio-1))
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: sherlock
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunBatch/seq-8         	     582	   2024423 ns/op	    126456 vectors_per_sec
+BenchmarkRunBatch/par-8         	     588	   2040578 ns/op	    125445 vectors_per_sec
+BenchmarkPredecode-8            	   12337	    102427 ns/op	       949.0 micro_ops
+PASS
+ok  	sherlock	6.672s
+`
+
+func TestParseLog(t *testing.T) {
+	got, err := parseLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkRunBatch/seq": 2024423,
+		"BenchmarkRunBatch/par": 2040578,
+		"BenchmarkPredecode":    102427,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name].nsPerOp != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got[name].nsPerOp, ns)
+		}
+	}
+}
+
+func TestParseLogAveragesRepeats(t *testing.T) {
+	log := "BenchmarkX-4 10 100 ns/op\nBenchmarkX-4 10 300 ns/op\n"
+	got, err := parseLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].nsPerOp != 200 {
+		t.Fatalf("average = %v, want 200", got["BenchmarkX"].nsPerOp)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	sherlock	6.672s",
+		"goos: linux",
+		"BenchmarkNoNs 12 34 allocs/op",
+		"",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := map[string]result{
+		"A":       {nsPerOp: 100, lines: 1},
+		"B":       {nsPerOp: 100, lines: 1},
+		"Removed": {nsPerOp: 50, lines: 1},
+	}
+	cur := map[string]result{
+		"A":   {nsPerOp: 130, lines: 1}, // +30%: regression at 1.20
+		"B":   {nsPerOp: 110, lines: 1}, // +10%: within threshold
+		"New": {nsPerOp: 10, lines: 1},  // no baseline: skipped
+	}
+	ds := diff(base, cur, 1.20)
+	if len(ds) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2: %+v", len(ds), ds)
+	}
+	// Sorted worst-first.
+	if ds[0].name != "A" || !ds[0].regression {
+		t.Errorf("worst delta = %+v, want regression on A", ds[0])
+	}
+	if ds[1].name != "B" || ds[1].regression {
+		t.Errorf("second delta = %+v, want non-regression on B", ds[1])
+	}
+}
+
+func TestReportEmitsAnnotations(t *testing.T) {
+	var sb strings.Builder
+	report(&sb, []delta{
+		{name: "A", base: 100, cur: 130, ratio: 1.3, regression: true},
+		{name: "B", base: 100, cur: 90, ratio: 0.9},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "::warning title=benchmark regression::A:") {
+		t.Errorf("missing annotation for A:\n%s", out)
+	}
+	if strings.Contains(out, "::warning title=benchmark regression::B:") {
+		t.Errorf("unexpected annotation for B:\n%s", out)
+	}
+	if !strings.Contains(out, "2 benchmarks compared, 1 above threshold") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sherlock/internal/device"
 	"sherlock/internal/experiments"
@@ -30,6 +31,7 @@ func main() {
 		exp        = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc or all")
 		quick      = flag.Bool("quick", false, "shrunken kernels for fast iteration")
 		fig6Size   = flag.Int("fig6-size", 256, "array dimension for the Fig. 6 sweep")
+		mcRuns     = flag.Int("mc-runs", 400, "fault-injected runs per Monte-Carlo validation row")
 		fig7Sizes  = flag.String("fig7-sizes", "128,256,512,1024", "array dimensions for Fig. 7")
 		parallel   = flag.Int("parallel", 0, "campaign worker pool size (0 = all cores); results are identical for every setting")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -99,14 +101,21 @@ func main() {
 	})
 	run("mc", func() error {
 		var rows []experiments.MCResult
+		start := time.Now()
 		for _, tech := range []device.Technology{device.ReRAM, device.STTMRAM} {
-			mc, err := experiments.MonteCarlo(r, experiments.Bitweaving, tech, *fig6Size, 400, 7)
+			mc, err := experiments.MonteCarlo(r, experiments.Bitweaving, tech, *fig6Size, *mcRuns, 7)
 			if err != nil {
 				return err
 			}
 			rows = append(rows, mc)
 		}
+		elapsed := time.Since(start)
 		fmt.Print(experiments.RenderMC(rows))
+		// Timing goes to stderr: stdout stays byte-identical across runs
+		// and -parallel settings (the determinism contract diffs it).
+		total := len(rows) * *mcRuns
+		fmt.Fprintf(os.Stderr, "%d fault-injected runs in %v (%.0f runs/sec, pre-decoded executor)\n",
+			total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 		return nil
 	})
 	run("fig7", func() error {

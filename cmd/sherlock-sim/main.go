@@ -68,22 +68,61 @@ func main() {
 		fatal(err)
 	}
 
-	m := sim.NewMachine(t)
+	// Fault-free runs go through the pre-decoded executor (the production
+	// path of the facade and the experiment campaigns); fault injection
+	// keeps the scalar interpreting machine, whose per-decision Bernoulli
+	// sampler pins the historical per-seed fault patterns.
+	var readOut func(layout.Place) (bool, error)
+	var cellAt func(layout.Place) (bool, bool)
+	var faultCount int
 	if *faults {
+		m := sim.NewMachine(t)
 		tv, err := device.ParseTechnology(*tech)
 		if err != nil {
 			fatal(err)
 		}
 		m.EnableFaultInjection(device.ParamsFor(tv), *seed)
-	}
-	if err := m.Run(prog, binds); err != nil {
-		fatal(err)
+		if err := m.Run(prog, binds); err != nil {
+			fatal(err)
+		}
+		faultCount = m.FaultCount()
+		readOut = m.ReadOut
+		cellAt = m.Cell
+	} else {
+		ex, err := sim.Predecode(prog, t)
+		if err != nil {
+			fatal(err)
+		}
+		m := ex.NewMachine(1)
+		m.Reset(1)
+		words := make(map[string]uint64, len(binds))
+		for n, v := range binds {
+			if v {
+				words[n] = 1
+			} else {
+				words[n] = 0
+			}
+		}
+		if err := m.RunMap(words); err != nil {
+			fatal(err)
+		}
+		readOut = func(p layout.Place) (bool, error) {
+			w, err := m.ReadOutWord(p, 0)
+			return w&1 == 1, err
+		}
+		cellAt = func(p layout.Place) (bool, bool) {
+			if !ex.Defined(p) {
+				return false, false
+			}
+			w, err := m.ReadOutWord(p, 0)
+			return w&1 == 1, err == nil
+		}
 	}
 	st := prog.ComputeStats()
 	fmt.Printf("# executed %d instructions (%d CIM reads, %d writes, %d host writes, %d shifts, %d nots)\n",
 		st.Total, st.CIMReads, st.Writes, st.HostWrites, st.Shifts, st.Nots)
-	if m.FaultCount() > 0 {
-		fmt.Printf("# %d sense faults injected\n", m.FaultCount())
+	if faultCount > 0 {
+		fmt.Printf("# %d sense faults injected\n", faultCount)
 	}
 
 	if *dump != "" {
@@ -92,7 +131,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			v, err := m.ReadOut(p)
+			v, err := readOut(p)
 			if err != nil {
 				fatal(err)
 			}
@@ -105,7 +144,7 @@ func main() {
 		for c := 0; c < t.Cols; c++ {
 			for r := 0; r < t.Rows; r++ {
 				p := layout.Place{Array: a, Col: c, Row: r}
-				if v, ok := m.Cell(p); ok {
+				if v, ok := cellAt(p); ok {
 					fmt.Printf("%s = %s\n", p, bit(v))
 				}
 			}

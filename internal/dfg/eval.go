@@ -87,6 +87,58 @@ func EvaluateWords(g *Graph, inputs map[string]uint64) (map[string]uint64, error
 	return out, nil
 }
 
+// WordEvaluator evaluates the kernel's SWAR golden semantics repeatedly
+// without per-call allocation: one value word per node in a flat array and
+// positional inputs/outputs (Graph.Inputs()/Graph.Outputs() order) replace
+// EvaluateWords' name-keyed maps. Monte-Carlo shards evaluate tens of
+// thousands of 64-lane groups against one graph; the map churn dominated
+// that loop. Not safe for concurrent use — create one per goroutine.
+type WordEvaluator struct {
+	g       *Graph
+	ops     []NodeID
+	vals    []uint64 // indexed by NodeID
+	out     []uint64 // last Eval's outputs, reused
+	scratch []uint64
+}
+
+// NewWordEvaluator prepares an evaluator for the graph.
+func NewWordEvaluator(g *Graph) *WordEvaluator {
+	return &WordEvaluator{
+		g:       g,
+		ops:     g.TopoOps(),
+		vals:    make([]uint64, len(g.nodes)),
+		out:     make([]uint64, len(g.outputs)),
+		scratch: make([]uint64, 0, 8),
+	}
+}
+
+// Eval computes all outputs for one 64-lane input block: inputs[i] is the
+// word of kernel input i in Graph.Inputs() order, and entry j of the result
+// is output j in Graph.Outputs() order. As with EvaluateWords, unused lanes
+// carry garbage through inverting ops; mask the result. The returned slice
+// is overwritten by the next Eval.
+func (ev *WordEvaluator) Eval(inputs []uint64) []uint64 {
+	g := ev.g
+	if len(inputs) != len(g.inputs) {
+		panic(fmt.Sprintf("dfg: %d input words for %d kernel inputs", len(inputs), len(g.inputs)))
+	}
+	for i, id := range g.inputs {
+		ev.vals[id] = inputs[i]
+	}
+	for _, op := range ev.ops {
+		words := ev.scratch[:0]
+		for _, in := range g.opInputs[op] {
+			words = append(words, ev.vals[in])
+		}
+		ev.scratch = words[:0]
+		ev.vals[g.opOutput[op]] = g.nodes[op].op.EvalWords(words...)
+	}
+	for j, o := range g.outputs {
+		ev.out[j] = ev.vals[o]
+	}
+	return ev.out
+}
+
 // EvaluateVectors runs the kernel over whole bit-vectors at once (the bulk
 // dimension): input vectors must share one length, and each output vector's
 // bit i is the kernel applied to bit i of every input. Internally it packs

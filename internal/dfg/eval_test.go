@@ -147,3 +147,55 @@ func TestEvaluateWordsMissingInput(t *testing.T) {
 		t.Fatal("missing input accepted")
 	}
 }
+
+// TestWordEvaluatorMatchesEvaluateWords pins the allocation-free positional
+// evaluator to the map-keyed reference: same graph, same lanes, identical
+// output words across repeated reuses of one evaluator.
+func TestWordEvaluatorMatchesEvaluateWords(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+	b.Output("p", b.Or(b.Nand(x, y), z))
+	b.Output("q", b.Xor(b.Not(x), b.And(y, z)))
+	g := b.Graph()
+
+	ev := NewWordEvaluator(g)
+	inputs := g.Inputs()
+	outputs := g.Outputs()
+	in := make([]uint64, len(inputs))
+	words := make(map[string]uint64, len(inputs))
+	for trial := 0; trial < 20; trial++ {
+		for i, id := range inputs {
+			w := uint64(trial*1103515245+12345) * (uint64(i)*2654435761 + 1)
+			in[i] = w
+			words[g.Name(id)] = w
+		}
+		want, err := EvaluateWords(g, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ev.Eval(in)
+		if len(got) != len(outputs) {
+			t.Fatalf("trial %d: %d output words for %d outputs", trial, len(got), len(outputs))
+		}
+		for j, o := range outputs {
+			if w := want[g.OutputName(o)]; got[j] != w {
+				t.Fatalf("trial %d output %q: positional %#x, map-keyed %#x",
+					trial, g.OutputName(o), got[j], w)
+			}
+		}
+	}
+}
+
+// TestWordEvaluatorInputCountPanics pins the length check.
+func TestWordEvaluatorInputCountPanics(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Input("x"), b.Input("y")
+	b.Output("o", b.And(x, y))
+	ev := NewWordEvaluator(b.Graph())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short input slice accepted")
+		}
+	}()
+	ev.Eval([]uint64{1})
+}

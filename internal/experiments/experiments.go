@@ -116,6 +116,7 @@ type Runner struct {
 	mu     sync.Mutex
 	graphs map[graphKey]*entry[*dfg.Graph]
 	mapped map[mapKey]*entry[*mapping.Result]
+	execs  map[*mapping.Result]*entry[*sim.Exec]
 }
 
 // entry is one singleflight memoization slot.
@@ -131,7 +132,24 @@ func NewRunner(s Setup) *Runner {
 		setup:  s,
 		graphs: make(map[graphKey]*entry[*dfg.Graph]),
 		mapped: make(map[mapKey]*entry[*mapping.Result]),
+		execs:  make(map[*mapping.Result]*entry[*sim.Exec]),
 	}
+}
+
+// Exec returns the pre-decoded micro-op executor of a mapped program
+// (sim.Predecode), memoized per mapping: Monte-Carlo campaigns and repeated
+// grid cells decode each program once and share the immutable Exec across
+// workers.
+func (r *Runner) Exec(res *mapping.Result) (*sim.Exec, error) {
+	r.mu.Lock()
+	e, ok := r.execs[res]
+	if !ok {
+		e = new(entry[*sim.Exec])
+		r.execs[res] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = sim.Predecode(res.Program, res.Layout.Target()) })
+	return e.val, e.err
 }
 
 // Setup returns the campaign parameters.

@@ -8,7 +8,7 @@ import (
 
 	"sherlock/internal/device"
 	"sherlock/internal/dfg"
-	"sherlock/internal/mapping"
+	"sherlock/internal/layout"
 	"sherlock/internal/reliability"
 	"sherlock/internal/sim"
 )
@@ -80,6 +80,32 @@ func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs i
 	if err != nil {
 		return MCResult{}, err
 	}
+	ex, err := r.Exec(res)
+	if err != nil {
+		return MCResult{}, err
+	}
+	// Per-shard invariants, hoisted: output places, the golden-input order
+	// (g.Inputs() order, matching the RNG draw order of every prior
+	// version), and each graph input's executor slot (-1 when the mapped
+	// program never consumes it).
+	outputs := g.Outputs()
+	places := make([]layout.Place, len(outputs))
+	for i, o := range outputs {
+		p, err := res.OutputPlace(o)
+		if err != nil {
+			return MCResult{}, err
+		}
+		places[i] = p
+	}
+	names := g.InputNames()
+	slots := make([]int, len(names))
+	for i, nm := range names {
+		s, ok := ex.Slot(nm)
+		if !ok {
+			s = -1
+		}
+		slots[i] = s
+	}
 
 	shards := mcShards
 	if runs < shards {
@@ -92,7 +118,7 @@ func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs i
 		if s < runs%shards {
 			shardRuns++
 		}
-		c, err := mcShard(res, g, params, rand.New(rand.NewSource(seed+int64(s))), shardRuns)
+		c, err := mcShard(ex, g, places, slots, params, rand.New(rand.NewSource(seed+int64(s))), shardRuns)
 		if err != nil {
 			return err
 		}
@@ -115,47 +141,40 @@ func MonteCarlo(r *Runner, w Workload, tech device.Technology, arraySize, runs i
 }
 
 // mcShard executes one shard's fault-injected runs word-parallel on a
-// private lane machine and RNG stream: up to sim.WordLanes (64) runs pack
-// into the bit-lanes of one SWAR program pass, fault injection draws from
-// the geometric-skip sampler (one RNG consultation per expected flip
-// instead of one per sense decision), and the golden reference evaluates
-// lane-wise through dfg.EvaluateWords. Blocks execute sequentially within
-// the shard, so for a given stream the tallies are deterministic whatever
-// the campaign's worker count. Everything shared (mapping, graph, params)
-// is read-only.
-func mcShard(res *mapping.Result, g *dfg.Graph, params device.Params, rng *rand.Rand, runs int) (mcCounts, error) {
+// private pre-decoded executor and RNG stream: up to sim.WordLanes (64)
+// runs pack into the bit-lanes of one micro-op pass over the shared Exec,
+// fault injection draws from the geometric-skip sampler (one RNG
+// consultation per expected flip instead of one per sense decision), and
+// the golden reference evaluates lane-wise through an allocation-free
+// dfg.WordEvaluator. The group size stays at 64 runs and inputs draw
+// run-major in g.Inputs() order with one Int63 per group — the exact RNG
+// consumption of the LaneMachine-era shards, so tallies are byte-identical
+// to them and deterministic whatever the campaign's worker count.
+func mcShard(ex *sim.Exec, g *dfg.Graph, places []layout.Place, slots []int, params device.Params, rng *rand.Rand, runs int) (mcCounts, error) {
 	var c mcCounts
-	names := g.InputNames()
-	var m *sim.LaneMachine
-	words := make(map[string]uint64, len(names))
+	ev := dfg.NewWordEvaluator(g)
+	m := ex.NewMachine(1)
+	in := m.InputBlock()
+	goldenIn := make([]uint64, len(slots))
 	for start := 0; start < runs; start += sim.WordLanes {
-		n := sim.WordLanes
-		if start+n > runs {
-			n = runs - start
-		}
+		n := min(sim.WordLanes, runs-start)
 		// Lane l is run start+l; inputs draw run-major, matching the
-		// scalar path's per-run draw order.
-		for _, nm := range names {
-			words[nm] = 0
-		}
+		// scalar path's per-run draw order. Reset clears the input block.
+		m.Reset(n)
+		clear(goldenIn)
 		for l := 0; l < n; l++ {
-			for _, nm := range names {
+			for i, s := range slots {
 				if rng.Intn(2) == 1 {
-					words[nm] |= uint64(1) << uint(l)
+					goldenIn[i] |= uint64(1) << uint(l)
+					if s >= 0 {
+						in[s] |= uint64(1) << uint(l)
+					}
 				}
 			}
 		}
-		golden, err := dfg.EvaluateWords(g, words)
-		if err != nil {
-			return mcCounts{}, err
-		}
-		if m == nil {
-			m = sim.NewLaneMachine(res.Layout.Target(), n)
-		} else {
-			m.Reset(n)
-		}
+		golden := ev.Eval(goldenIn)
 		m.EnableFaultInjection(params, rng.Int63())
-		if err := m.Run(res.Program, words); err != nil {
+		if err := m.Run(in); err != nil {
 			return mcCounts{}, err
 		}
 		for l := 0; l < n; l++ {
@@ -165,16 +184,13 @@ func mcShard(res *mapping.Result, g *dfg.Graph, params device.Params, rng *rand.
 			}
 		}
 		var errMask uint64
-		for _, o := range g.Outputs() {
-			p, err := res.OutputPlace(o)
+		mask := m.MaskWord(0)
+		for oi, p := range places {
+			w, err := m.ReadOutWord(p, 0)
 			if err != nil {
 				return mcCounts{}, err
 			}
-			w, err := m.ReadOutWord(p)
-			if err != nil {
-				return mcCounts{}, err
-			}
-			errMask |= (w ^ golden[g.OutputName(o)]) & m.Mask()
+			errMask |= (w ^ golden[oi]) & mask
 		}
 		c.errorRuns += bits.OnesCount64(errMask)
 	}

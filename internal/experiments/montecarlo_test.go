@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"math/bits"
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"sherlock/internal/device"
+	"sherlock/internal/dfg"
+	"sherlock/internal/mapping"
+	"sherlock/internal/sim"
 )
 
 // TestMonteCarloVectorizedDeterminism pins the SWAR campaign's determinism
@@ -30,6 +35,123 @@ func TestMonteCarloVectorizedDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(mc, base) {
 			t.Errorf("Parallelism %d: %+v differs from Parallelism 1: %+v", parallelism, mc, base)
 		}
+	}
+}
+
+// legacyMCShard is the LaneMachine-era shard, reimplemented verbatim:
+// interpreting SWAR passes over the program with map-keyed inputs and
+// dfg.EvaluateWords goldens. It defines the tally semantics the pre-decoded
+// executor path must reproduce bit for bit.
+func legacyMCShard(t *testing.T, res *mapping.Result, g *dfg.Graph, params device.Params, rng *rand.Rand, runs int) mcCounts {
+	t.Helper()
+	var c mcCounts
+	names := g.InputNames()
+	var m *sim.LaneMachine
+	words := make(map[string]uint64, len(names))
+	for start := 0; start < runs; start += sim.WordLanes {
+		n := sim.WordLanes
+		if start+n > runs {
+			n = runs - start
+		}
+		for _, nm := range names {
+			words[nm] = 0
+		}
+		for l := 0; l < n; l++ {
+			for _, nm := range names {
+				if rng.Intn(2) == 1 {
+					words[nm] |= uint64(1) << uint(l)
+				}
+			}
+		}
+		golden, err := dfg.EvaluateWords(g, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			m = sim.NewLaneMachine(res.Layout.Target(), n)
+		} else {
+			m.Reset(n)
+		}
+		m.EnableFaultInjection(params, rng.Int63())
+		if err := m.Run(res.Program, words); err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < n; l++ {
+			if f := m.FaultCount(l); f > 0 {
+				c.faultRuns++
+				c.faults += f
+			}
+		}
+		var errMask uint64
+		for _, o := range g.Outputs() {
+			p, err := res.OutputPlace(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := m.ReadOutWord(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errMask |= (w ^ golden[g.OutputName(o)]) & m.Mask()
+		}
+		c.errorRuns += bits.OnesCount64(errMask)
+	}
+	return c
+}
+
+// TestMonteCarloMatchesLegacyLaneShards pins the executor-backed campaign
+// to the interpreting LaneMachine implementation it replaced: same seed,
+// same shard split, byte-identical tallies. The RNG contract (inputs drawn
+// run-major in g.Inputs() order, one Int63 per 64-run group, geometric-skip
+// flips per column) is observable history — results published from earlier
+// versions must reproduce.
+func TestMonteCarloMatchesLegacyLaneShards(t *testing.T) {
+	const (
+		runs = 333
+		seed = int64(99)
+		size = 128
+	)
+	r := runnerWith(4)
+	got, err := MonteCarlo(r, Bitweaving, device.STTMRAM, size, runs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.Map(Bitweaving, 1.0, true, size, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Graph(Bitweaving, 1.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.ParamsFor(device.STTMRAM)
+	shards := mcShards
+	if runs < shards {
+		shards = runs
+	}
+	var want mcCounts
+	for s := 0; s < shards; s++ {
+		shardRuns := runs / shards
+		if s < runs%shards {
+			shardRuns++
+		}
+		c := legacyMCShard(t, res, g, params, rand.New(rand.NewSource(seed+int64(s))), shardRuns)
+		want.faultRuns += c.faultRuns
+		want.errorRuns += c.errorRuns
+		want.faults += c.faults
+	}
+	if want.faults == 0 {
+		t.Log("no faults at this P_DF; identity still checked")
+	}
+	if got.FaultsInjected != want.faults {
+		t.Errorf("FaultsInjected = %d, legacy shards injected %d", got.FaultsInjected, want.faults)
+	}
+	if wantRate := float64(want.faultRuns) / runs; got.ObservedFaultRate != wantRate {
+		t.Errorf("ObservedFaultRate = %v, legacy %v", got.ObservedFaultRate, wantRate)
+	}
+	if wantRate := float64(want.errorRuns) / runs; got.ObservedErrorRate != wantRate {
+		t.Errorf("ObservedErrorRate = %v, legacy %v", got.ObservedErrorRate, wantRate)
 	}
 }
 

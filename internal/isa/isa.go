@@ -417,6 +417,24 @@ func ParseProgram(text string) (Program, error) {
 	return p, nil
 }
 
+// Bindings returns the host-write input names the program consumes, in
+// first-use order. This is the canonical slot order for bulk execution:
+// sim.Predecode assigns input slots by it, and the facade packs batch
+// inputs in it.
+func (p Program) Bindings() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, in := range p {
+		for _, b := range in.Bindings {
+			if !seen[b] {
+				seen[b] = true
+				names = append(names, b)
+			}
+		}
+	}
+	return names
+}
+
 // Stats summarizes a program for reports and the reliability model.
 type Stats struct {
 	Total      int

@@ -167,3 +167,27 @@ func TestParseProgramReportsLine(t *testing.T) {
 		t.Errorf("error %v should name line 2", err)
 	}
 }
+
+// TestBindingsFirstUseOrder pins Bindings() as the canonical input-slot
+// order: names appear once each, ordered by first textual use, with
+// duplicates and later re-uses collapsed.
+func TestBindingsFirstUseOrder(t *testing.T) {
+	p, err := ParseProgram(
+		"Write [0][0,1][0] <b,a>\nWrite [0][2][1] <c>\nWrite [1][0,1][0] <a,d>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Bindings()
+	want := []string{"b", "a", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Bindings() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bindings() = %v, want %v", got, want)
+		}
+	}
+	if n := Program(nil).Bindings(); len(n) != 0 {
+		t.Fatalf("empty program Bindings() = %v", n)
+	}
+}

@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"sherlock/internal/device"
+	"sherlock/internal/layout"
+)
+
+// DefaultBlockWords is the lane-block width used by callers that want more
+// data per decoded pass than one word: 4 words = 256 lanes.
+const DefaultBlockWords = 4
+
+// ExecMachine executes one pre-decoded program over a lane BLOCK of up to
+// BlockWords()*64 independent input vectors per pass. State is flat and
+// cell-major: cell (or row-buffer bit) offset k occupies words
+// [k*B, k*B+B), word b carrying lanes 64b..64b+63. Loops touch only the
+// activeWords = ceil(lanes/64) leading words of each block, so a wide
+// machine running few lanes pays for few. Dead lanes (and inactive words)
+// carry garbage; readout masks them.
+//
+// There are no defined masks: definedness was discharged at decode time,
+// which is what makes Reset O(1) in the cell count — stale cell payloads
+// cannot leak because every read the program performs is dominated by a
+// same-run write (Predecode proved it).
+type ExecMachine struct {
+	e     *Exec
+	block int // B: words per cell
+
+	lanes       int
+	activeWords int
+	lastMask    uint64 // live-lane mask of the last active word
+
+	cells []uint64 // numCells * B
+	buf   []uint64 // numBuf * B
+	acc   []uint64 // fold scratch, B words
+	in    []uint64 // input scratch, NumSlots * B; cleared by Reset
+
+	faults     *execFaultModel
+	fm         execFaultModel
+	flipCounts []int // per-lane injected-fault tallies, B*64 entries
+}
+
+// NewMachine builds an executor with a lane block of blockWords words
+// (1..; DefaultBlockWords is the facade's choice), initially running all
+// blockWords*64 lanes.
+func (e *Exec) NewMachine(blockWords int) *ExecMachine {
+	if blockWords < 1 {
+		panic(fmt.Sprintf("sim: lane block of %d words", blockWords))
+	}
+	m := &ExecMachine{
+		e:          e,
+		block:      blockWords,
+		cells:      make([]uint64, e.numCells*blockWords),
+		buf:        make([]uint64, e.numBuf*blockWords),
+		acc:        make([]uint64, blockWords),
+		in:         make([]uint64, len(e.inputNames)*blockWords),
+		flipCounts: make([]int, blockWords*WordLanes),
+	}
+	m.Reset(blockWords * WordLanes)
+	return m
+}
+
+// BlockWords returns B, the lane-block width in words.
+func (m *ExecMachine) BlockWords() int { return m.block }
+
+// MaxLanes returns the block's lane capacity.
+func (m *ExecMachine) MaxLanes() int { return m.block * WordLanes }
+
+// Lanes returns the active lane count.
+func (m *ExecMachine) Lanes() int { return m.lanes }
+
+// Reset prepares the machine for a fresh pass with a new lane count,
+// reusing every allocation. Fault state and the input scratch clear; cell
+// payloads stay (the decoded program cannot observe them).
+func (m *ExecMachine) Reset(lanes int) {
+	if lanes < 1 || lanes > m.MaxLanes() {
+		panic(fmt.Sprintf("sim: lane count %d outside [1,%d]", lanes, m.MaxLanes()))
+	}
+	m.lanes = lanes
+	m.activeWords = (lanes + WordLanes - 1) / WordLanes
+	if rem := lanes % WordLanes; rem == 0 {
+		m.lastMask = ^uint64(0)
+	} else {
+		m.lastMask = uint64(1)<<uint(rem) - 1
+	}
+	clear(m.flipCounts)
+	clear(m.in)
+	m.faults = nil
+}
+
+// MaskWord returns the live-lane mask of block word b (bit l set iff lane
+// 64b+l is active); words at or past the active count mask to zero.
+func (m *ExecMachine) MaskWord(b int) uint64 {
+	if b < 0 || b >= m.activeWords {
+		return 0
+	}
+	if b == m.activeWords-1 {
+		return m.lastMask
+	}
+	return ^uint64(0)
+}
+
+// lanesOf returns how many lanes of block word b are live.
+func (m *ExecMachine) lanesOf(b int) int {
+	if b == m.activeWords-1 {
+		return m.lanes - b*WordLanes
+	}
+	return WordLanes
+}
+
+// InputBlock exposes the machine's slot-major input scratch: word
+// [slot*BlockWords()+b] carries lanes 64b..64b+63 of that input slot. Reset
+// zeroes it; callers set bits and pass it to Run.
+func (m *ExecMachine) InputBlock() []uint64 { return m.in }
+
+// EnableFaultInjection arms the geometric-skip sampler for the next Run.
+// The per-class P_DF values are resolved once here instead of once per
+// column, and the (op, rows)-class skip streams share one RNG in the exact
+// draw order of LaneMachine — same seed, same fault pattern, bit for bit.
+func (m *ExecMachine) EnableFaultInjection(p device.Params, seed int64) {
+	f := &m.fm
+	n := len(m.e.classes)
+	if cap(f.pdf) < n {
+		f.pdf = make([]float64, n)
+		f.rem = make([]int64, n)
+		f.has = make([]bool, n)
+	}
+	f.pdf, f.rem, f.has = f.pdf[:n], f.rem[:n], f.has[:n]
+	for i, cls := range m.e.classes {
+		f.pdf[i] = p.DecisionFailure(cls.Op, cls.Rows)
+	}
+	clear(f.has)
+	f.rng = rand.New(rand.NewSource(seed))
+	m.faults = f
+}
+
+// FaultCount reports how many sense decisions were flipped in one lane.
+func (m *ExecMachine) FaultCount(lane int) int {
+	if lane < 0 || lane >= m.lanes {
+		panic(fmt.Sprintf("sim: lane %d outside [0,%d)", lane, m.lanes))
+	}
+	return m.flipCounts[lane]
+}
+
+// TotalFaults reports the flips injected across the active lanes.
+func (m *ExecMachine) TotalFaults() int {
+	total := 0
+	for _, c := range m.flipCounts[:m.lanes] {
+		total += c
+	}
+	return total
+}
+
+func (m *ExecMachine) countFlips(b int, w uint64) {
+	for w != 0 {
+		m.flipCounts[b*WordLanes+bits.TrailingZeros64(w)]++
+		w &= w - 1
+	}
+}
+
+// Run executes the decoded program once over the active lanes. in is a
+// slot-major input block (see InputBlock); every slot must be populated —
+// Run performs no name resolution. RunMap is the checked, name-keyed entry.
+// The only runtime failure mode left is a malformed input block; program
+// errors were all discharged by Predecode.
+func (m *ExecMachine) Run(in []uint64) error {
+	e := m.e
+	B := m.block
+	if len(in) < len(e.inputNames)*B {
+		return fmt.Errorf("sim: input block has %d words, need %d", len(in), len(e.inputNames)*B)
+	}
+	aw := m.activeWords
+	cells, buf := m.cells, m.buf
+	acc := m.acc[:aw]
+	srcs, dsts := e.srcs, e.dsts
+	for oi := range e.ops {
+		op := &e.ops[oi]
+		switch op.kind {
+		case uopFoldAnd, uopFoldOr, uopFoldXor:
+			rows := e.rowOffs[op.rows0:op.rows1]
+			for i := op.p0; i < op.p1; i++ {
+				base := int(srcs[i]) * B
+				switch op.kind {
+				case uopFoldAnd:
+					for b := range acc {
+						acc[b] = ^uint64(0)
+					}
+					for _, r := range rows {
+						co := base + int(r)*B
+						for b := range acc {
+							acc[b] &= cells[co+b]
+						}
+					}
+				case uopFoldOr:
+					for b := range acc {
+						acc[b] = 0
+					}
+					for _, r := range rows {
+						co := base + int(r)*B
+						for b := range acc {
+							acc[b] |= cells[co+b]
+						}
+					}
+				default:
+					for b := range acc {
+						acc[b] = 0
+					}
+					for _, r := range rows {
+						co := base + int(r)*B
+						for b := range acc {
+							acc[b] ^= cells[co+b]
+						}
+					}
+				}
+				if op.inv {
+					for b := range acc {
+						acc[b] = ^acc[b]
+					}
+				}
+				if m.faults != nil {
+					cls := int(op.class)
+					for b := range acc {
+						if w := m.faults.flips(cls, m.lanesOf(b)); w != 0 {
+							acc[b] ^= w
+							m.countFlips(b, w)
+						}
+					}
+				}
+				do := int(dsts[i]) * B
+				copy(buf[do:do+aw], acc)
+			}
+		case uopCopy:
+			for i := op.p0; i < op.p1; i++ {
+				so, do := int(srcs[i])*B, int(dsts[i])*B
+				copy(buf[do:do+aw], cells[so:so+aw])
+			}
+		case uopHostWrite:
+			for i := op.p0; i < op.p1; i++ {
+				so, do := int(srcs[i])*B, int(dsts[i])*B
+				copy(cells[do:do+aw], in[so:so+aw])
+			}
+		case uopBufWrite:
+			for i := op.p0; i < op.p1; i++ {
+				so, do := int(srcs[i])*B, int(dsts[i])*B
+				copy(cells[do:do+aw], buf[so:so+aw])
+			}
+		case uopNot:
+			for i := op.p0; i < op.p1; i++ {
+				do := int(dsts[i]) * B
+				for b := 0; b < aw; b++ {
+					buf[do+b] = ^buf[do+b]
+				}
+			}
+		case uopShift:
+			m.shift(int(op.array), int(op.dist))
+		}
+	}
+	return nil
+}
+
+// shift moves whole row-buffer columns of one array by memmove: column c's
+// B-word block relocates to column c+dist, vacated columns zero. Inactive
+// trailing words move as garbage, which is fine — they stay unreadable.
+func (m *ExecMachine) shift(array, dist int) {
+	B := m.block
+	n := m.e.bufCols
+	region := m.buf[array*n*B : (array+1)*n*B]
+	d := dist
+	if d < 0 {
+		d = -d
+	}
+	if d >= n {
+		clear(region)
+		return
+	}
+	w := d * B
+	if dist > 0 {
+		copy(region[w:], region[:len(region)-w])
+		clear(region[:w])
+	} else {
+		copy(region[:len(region)-w], region[w:])
+		clear(region[len(region)-w:])
+	}
+}
+
+// RunMap is Run with name-keyed input words (bit l = lane l's value), the
+// LaneMachine-compatible entry: it performs the unbound-input check the
+// interpreting machines do at the point of use, reporting the first
+// instruction that needs a missing name with the same message. One word
+// addresses at most 64 lanes, so the machine must be Reset to <= 64.
+func (m *ExecMachine) RunMap(inputs map[string]uint64) error {
+	if m.lanes > WordLanes {
+		panic(fmt.Sprintf("sim: RunMap addresses %d lanes through single words", m.lanes))
+	}
+	e := m.e
+	for _, u := range e.bindUses {
+		if _, ok := inputs[e.inputNames[u.slot]]; !ok {
+			in := e.prog[u.instr]
+			return fmt.Errorf("sim: instruction %d (%s): unbound input %q", u.instr, in, e.inputNames[u.slot])
+		}
+	}
+	clear(m.in)
+	for name, w := range inputs {
+		if s, ok := e.slots[name]; ok {
+			m.in[s*m.block] = w
+		}
+	}
+	return m.Run(m.in)
+}
+
+// ReadOutWord returns block word b of the stored lanes at a cell (bit l =
+// lane 64b+l's value), failing when the cell was never written.
+func (m *ExecMachine) ReadOutWord(p layout.Place, b int) (uint64, error) {
+	e := m.e
+	if b < 0 || b >= m.activeWords {
+		return 0, fmt.Errorf("sim: readout word %d outside %d active words", b, m.activeWords)
+	}
+	if p.Array < 0 || p.Array >= e.space.Arrays ||
+		p.Col < 0 || p.Col >= e.space.BufCols ||
+		p.Row < 0 || p.Row >= e.space.Rows {
+		// Outside the decoded space nothing was ever written; the target
+		// bound check folds into the same undefined-cell answer the
+		// interpreting machines give.
+		return 0, fmt.Errorf("sim: readout of undefined cell %v", p)
+	}
+	off := e.cellOff(p.Array, p.Col, p.Row)
+	if !e.defined[off] {
+		return 0, fmt.Errorf("sim: readout of undefined cell %v", p)
+	}
+	return m.cells[off*m.block+b] & m.MaskWord(b), nil
+}
+
+// execFaultModel is the geometric-skip sampler of laneFaultModel with the
+// per-column map lookups hoisted out: class -> P_DF and class -> skip state
+// are dense arrays indexed by the decode-time class table, and the P_DF
+// resolution happens once per EnableFaultInjection instead of once per
+// column. The RNG consumption order is identical to laneFaultModel's.
+type execFaultModel struct {
+	rng *rand.Rand
+	pdf []float64
+	rem []int64
+	has []bool
+}
+
+// flips returns the fault word for `lanes` decisions of one sense class,
+// consuming the class's skip stream exactly as laneFaultModel.flips does.
+func (f *execFaultModel) flips(cls, lanes int) uint64 {
+	pdf := f.pdf[cls]
+	if pdf <= 0 {
+		return 0
+	}
+	rem := f.rem[cls]
+	if !f.has[cls] {
+		rem = geomGap(f.rng, pdf)
+		f.has[cls] = true
+	}
+	var w uint64
+	for rem < int64(lanes) {
+		w |= uint64(1) << uint(rem)
+		rem += 1 + geomGap(f.rng, pdf)
+		if rem > maxGap {
+			rem = maxGap
+		}
+	}
+	f.rem[cls] = rem - int64(lanes)
+	return w
+}

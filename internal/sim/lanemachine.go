@@ -138,10 +138,13 @@ func (m *LaneMachine) FaultCount(lane int) int {
 	return m.flipCounts[lane]
 }
 
-// TotalFaults reports the flips injected across all lanes.
+// TotalFaults reports the flips injected across the active lanes. Entries
+// beyond m.lanes are excluded: they can only hold leftovers from a wider
+// earlier configuration, never live flips (the sampler confines fault words
+// to live lanes).
 func (m *LaneMachine) TotalFaults() int {
 	total := 0
-	for _, c := range m.flipCounts {
+	for _, c := range m.flipCounts[:m.lanes] {
 		total += c
 	}
 	return total
@@ -373,18 +376,22 @@ type laneFaultModel struct {
 // realistic decision count a gap this large means "never flips".
 const maxGap = int64(1) << 60
 
-// gap draws the number of un-flipped decisions preceding the next flip.
-func (f *laneFaultModel) gap(p float64) int64 {
+// geomGap draws the number of un-flipped decisions preceding the next flip.
+// Shared by laneFaultModel and execFaultModel so both consume the RNG
+// identically — same seed, same fault pattern across the two executors.
+func geomGap(rng *rand.Rand, p float64) int64 {
 	if p >= 1 {
 		return 0
 	}
 	// Inversion sampling: floor(log(1-U)/log(1-p)) ~ Geom(p), U in [0,1).
-	g := math.Log1p(-f.rng.Float64()) / math.Log1p(-p)
+	g := math.Log1p(-rng.Float64()) / math.Log1p(-p)
 	if !(g < float64(maxGap)) { // also catches NaN/Inf
 		return maxGap
 	}
 	return int64(g)
 }
+
+func (f *laneFaultModel) gap(p float64) int64 { return geomGap(f.rng, p) }
 
 // flips returns the fault word for one CIM-read column: `lanes` decisions
 // of class (op, rows) are consumed from the class stream, and bit l is set

@@ -399,6 +399,77 @@ func TestLaneMachineReset(t *testing.T) {
 	}
 }
 
+// TestLaneMachineLaneEdges drives the boundary lane counts — a single lane,
+// one short of a full word, and a full word — through Reset, Mask,
+// ReadOutWord masking and fault accounting.
+func TestLaneMachineLaneEdges(t *testing.T) {
+	target := layout.Target{Arrays: 1, Rows: 4, Cols: 2}
+	prog, err := isa.ParseProgram("Write [0][0,1][0] <a,b>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := layout.Place{Array: 0, Col: 0, Row: 0}
+	for _, lanes := range []int{1, 63, 64} {
+		wantMask := ^uint64(0)
+		if lanes < 64 {
+			wantMask = uint64(1)<<uint(lanes) - 1
+		}
+		m := NewLaneMachine(target, lanes)
+		if m.Lanes() != lanes || m.Mask() != wantMask {
+			t.Fatalf("lanes %d: Lanes()=%d Mask()=%#x, want mask %#x", lanes, m.Lanes(), m.Mask(), wantMask)
+		}
+		// Garbage above the live lanes must be masked out of readout.
+		if err := m.Run(prog, map[string]uint64{"a": ^uint64(0), "b": ^uint64(0)}); err != nil {
+			t.Fatalf("lanes %d: %v", lanes, err)
+		}
+		w, err := m.ReadOutWord(p)
+		if err != nil {
+			t.Fatalf("lanes %d: %v", lanes, err)
+		}
+		if w != wantMask {
+			t.Fatalf("lanes %d: readout %#x, want %#x", lanes, w, wantMask)
+		}
+		if m.TotalFaults() != 0 {
+			t.Fatalf("lanes %d: faults without injection", lanes)
+		}
+		// FaultCount bounds follow the lane count exactly.
+		if got := m.FaultCount(lanes - 1); got != 0 {
+			t.Fatalf("lanes %d: FaultCount(last)=%d", lanes, got)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("lanes %d: FaultCount(%d) did not panic", lanes, lanes)
+				}
+			}()
+			m.FaultCount(lanes)
+		}()
+	}
+}
+
+// TestLaneMachineTotalFaultsAfterShrink is the regression test for
+// TotalFaults summing beyond the live lane count: counts sitting above
+// m.lanes are stale by definition (only a wider earlier configuration could
+// have written them) and must not leak into the total. Reset also clears
+// the backing array today, so the test plants a stale entry directly —
+// that keeps it sensitive to the summation bound, not to Reset's clearing.
+func TestLaneMachineTotalFaultsAfterShrink(t *testing.T) {
+	prog, target, _, laneIn := faultProgram(t)
+	m := NewLaneMachine(target, WordLanes)
+	m.Reset(3)
+	m.flipCounts[40] = 7 // simulate a leftover tally from a 64-lane pass
+	if got := m.TotalFaults(); got != 0 {
+		t.Fatalf("TotalFaults with 3 lanes = %d, want 0 (stale lane-40 count leaked)", got)
+	}
+	// A clean narrow run keeps the total at zero.
+	if err := m.Run(prog, laneIn); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalFaults(); got != 0 {
+		t.Fatalf("TotalFaults after clean narrow run = %d, want 0", got)
+	}
+}
+
 // faultProgram is a high-decision-count program for sampler statistics: two
 // host-written rows and four 8-column XOR scouting reads, 32 sense
 // decisions per run.

@@ -146,6 +146,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// execBlockWords is the lane-block width of the pooled batch executors:
+// sim.DefaultBlockWords words = 256 input vectors per decoded program pass.
+const execBlockWords = sim.DefaultBlockWords
+
 // Compiled is a mapped kernel ready to execute, cost and assess.
 type Compiled struct {
 	Graph   *Graph
@@ -157,6 +161,14 @@ type Compiled struct {
 
 	bindOnce  sync.Once
 	bindNames []string // host-write bindings, in first-use order
+
+	// The program decodes into a micro-op executor once per Compiled;
+	// machines (per-worker mutable state over the shared Exec) pool across
+	// Run/RunBatch calls.
+	execOnce sync.Once
+	execVal  *sim.Exec
+	execErr  error
+	machines sync.Pool
 }
 
 // CompileC parses a C-subset kernel (see internal/cparser for the accepted
@@ -260,21 +272,24 @@ func (c *Compiled) RunWithFaults(inputs map[string]bool, seed int64) (map[string
 }
 
 // RunBatch executes the program once per input assignment, word-parallel:
-// up to sim.WordLanes (64) input vectors pack into the bit-lanes of one
-// SWAR lane-machine pass, and the lane groups fan out over up to
-// parallelism workers (0 selects runtime.GOMAXPROCS(0)), so each worker
-// simulates 64 vectors per program execution. Outputs come back in input
-// order, bit-for-bit identical to calling Run sequentially.
+// the program is pre-decoded into a micro-op stream once per Compiled
+// (sim.Predecode), and up to 256 input vectors (execBlockWords*64) pack
+// into the bit-lanes of one executor pass. Lane blocks fan out over up to
+// parallelism workers (0 selects runtime.GOMAXPROCS(0)) with per-worker
+// pooled machine state. Outputs come back in input order, bit-for-bit
+// identical to calling Run sequentially.
 func (c *Compiled) RunBatch(batch []map[string]bool, parallelism int) ([]map[string]bool, error) {
+	ex, err := c.exec()
+	if err != nil {
+		return nil, err
+	}
 	outs := make([]map[string]bool, len(batch))
-	groups := (len(batch) + sim.WordLanes - 1) / sim.WordLanes
-	err := pool.Run(parallelism, groups, func(g int) error {
-		start := g * sim.WordLanes
-		end := start + sim.WordLanes
-		if end > len(batch) {
-			end = len(batch)
-		}
-		return c.runLaneGroup(batch, outs, start, end)
+	blockLanes := execBlockWords * sim.WordLanes
+	groups := (len(batch) + blockLanes - 1) / blockLanes
+	err = pool.Run(parallelism, groups, func(g int) error {
+		start := g * blockLanes
+		end := min(start+blockLanes, len(batch))
+		return c.runExecGroup(ex, batch, outs, start, end)
 	})
 	if err != nil {
 		return nil, err
@@ -282,75 +297,125 @@ func (c *Compiled) RunBatch(batch []map[string]bool, parallelism int) ([]map[str
 	return outs, nil
 }
 
+// exec returns the pre-decoded executor, built once per Compiled.
+func (c *Compiled) exec() (*sim.Exec, error) {
+	c.execOnce.Do(func() {
+		c.execVal, c.execErr = sim.Predecode(c.Program, c.result.Layout.Target())
+	})
+	return c.execVal, c.execErr
+}
+
+// getMachine borrows a pooled lane-block machine for ex (all of a
+// Compiled's machines share its one Exec). Return it with c.machines.Put.
+func (c *Compiled) getMachine(ex *sim.Exec) *sim.ExecMachine {
+	if v := c.machines.Get(); v != nil {
+		return v.(*sim.ExecMachine)
+	}
+	return ex.NewMachine(execBlockWords)
+}
+
 // inputNames returns the host-write bindings the program consumes, computed
-// once per Compiled (RunBatch packs exactly these into lane words).
+// once per Compiled. The first-use order is exactly sim.Predecode's slot
+// order, so index i here is input slot i of the executor.
 func (c *Compiled) inputNames() []string {
 	c.bindOnce.Do(func() {
-		seen := make(map[string]bool)
-		for _, in := range c.Program {
-			for _, b := range in.Bindings {
-				if !seen[b] {
-					seen[b] = true
-					c.bindNames = append(c.bindNames, b)
-				}
-			}
-		}
+		c.bindNames = c.Program.Bindings()
 	})
 	return c.bindNames
 }
 
-// runLaneGroup simulates batch[start:end) as the lanes of one LaneMachine
-// pass and unpacks the readouts into outs.
-func (c *Compiled) runLaneGroup(batch, outs []map[string]bool, start, end int) error {
+// runExecGroup simulates batch[start:end) as the lanes of one lane-block
+// executor pass and unpacks the readouts into outs.
+func (c *Compiled) runExecGroup(ex *sim.Exec, batch, outs []map[string]bool, start, end int) error {
 	lanes := end - start
 	names := c.inputNames()
-	words := make(map[string]uint64, len(names))
-	for _, name := range names {
-		words[name] = 0
-	}
+	m := c.getMachine(ex)
+	defer c.machines.Put(m)
+	m.Reset(lanes)
+	in := m.InputBlock()
+	B := m.BlockWords()
 	for l := 0; l < lanes; l++ {
-		in := batch[start+l]
-		for _, name := range names {
-			v, ok := in[name]
+		inp := batch[start+l]
+		for slot, name := range names {
+			v, ok := inp[name]
 			if !ok {
 				return fmt.Errorf("sherlock: batch input %d: unbound input %q", start+l, name)
 			}
 			if v {
-				words[name] |= uint64(1) << uint(l)
+				in[slot*B+l/sim.WordLanes] |= uint64(1) << uint(l%sim.WordLanes)
 			}
 		}
 	}
-	m := sim.NewLaneMachine(c.result.Layout.Target(), lanes)
-	if err := m.Run(c.Program, words); err != nil {
+	if err := m.Run(in); err != nil {
 		return fmt.Errorf("sherlock: batch inputs [%d,%d): %w", start, end, err)
 	}
 	outputs := c.Graph.Outputs()
 	for l := 0; l < lanes; l++ {
 		outs[start+l] = make(map[string]bool, len(outputs))
 	}
+	activeWords := (lanes + sim.WordLanes - 1) / sim.WordLanes
 	for _, out := range outputs {
 		p, err := c.result.OutputPlace(out)
 		if err != nil {
 			return err
 		}
-		w, err := m.ReadOutWord(p)
-		if err != nil {
-			return err
-		}
 		name := c.Graph.OutputName(out)
-		for l := 0; l < lanes; l++ {
-			outs[start+l][name] = w>>uint(l)&1 == 1
+		for b := 0; b < activeWords; b++ {
+			w, err := m.ReadOutWord(p, b)
+			if err != nil {
+				return err
+			}
+			lo := b * sim.WordLanes
+			hi := min(lanes, lo+sim.WordLanes)
+			for l := lo; l < hi; l++ {
+				outs[start+l][name] = w>>uint(l-lo)&1 == 1
+			}
 		}
 	}
 	return nil
 }
 
 func (c *Compiled) run(inputs map[string]bool, faults bool, seed int64) (map[string]bool, int, error) {
-	m := sim.NewMachine(c.result.Layout.Target())
 	if faults {
+		// Fault injection stays on the scalar machine: its per-decision
+		// Bernoulli draws are a different (equally valid) sampling of the
+		// same distribution than the executor's geometric-skip streams, and
+		// existing seeds pin existing patterns.
+		m := sim.NewMachine(c.result.Layout.Target())
 		m.EnableFaultInjection(device.ParamsFor(c.opts.Tech), seed)
+		if err := m.Run(c.Program, inputs); err != nil {
+			return nil, 0, err
+		}
+		outs := make(map[string]bool, len(c.Graph.Outputs()))
+		for _, out := range c.Graph.Outputs() {
+			p, err := c.result.OutputPlace(out)
+			if err != nil {
+				return nil, 0, err
+			}
+			v, err := m.ReadOut(p)
+			if err != nil {
+				return nil, 0, err
+			}
+			outs[c.Graph.OutputName(out)] = v
+		}
+		return outs, m.FaultCount(), nil
 	}
-	if err := m.Run(c.Program, inputs); err != nil {
+	ex, err := c.exec()
+	if err != nil {
+		return nil, 0, err
+	}
+	m := c.getMachine(ex)
+	defer c.machines.Put(m)
+	m.Reset(1)
+	words := make(map[string]uint64, len(inputs))
+	for k, v := range inputs {
+		var w uint64
+		if v {
+			w = 1
+		}
+		words[k] = w
+	}
+	if err := m.RunMap(words); err != nil {
 		return nil, 0, err
 	}
 	outs := make(map[string]bool, len(c.Graph.Outputs()))
@@ -359,13 +424,13 @@ func (c *Compiled) run(inputs map[string]bool, faults bool, seed int64) (map[str
 		if err != nil {
 			return nil, 0, err
 		}
-		v, err := m.ReadOut(p)
+		w, err := m.ReadOutWord(p, 0)
 		if err != nil {
 			return nil, 0, err
 		}
-		outs[c.Graph.OutputName(out)] = v
+		outs[c.Graph.OutputName(out)] = w&1 == 1
 	}
-	return outs, m.FaultCount(), nil
+	return outs, 0, nil
 }
 
 // Evaluate computes the kernel's reference semantics directly on the DFG
