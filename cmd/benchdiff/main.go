@@ -1,11 +1,15 @@
 // Command benchdiff compares two `go test -bench` logs and flags
 // regressions, benchstat-style but dependency-free. It is wired into CI as
-// an advisory step: the bench-smoke log of the current commit is compared
-// against the committed baseline (bench-baseline.txt), and any benchmark
-// whose ns/op grew beyond the threshold is emitted as a GitHub Actions
-// ::warning annotation. The step never fails the build — single-iteration
-// smoke numbers on shared runners are noisy, so the annotations are a
-// prompt to re-measure, not a verdict.
+// a blocking step with advisory findings: the bench-smoke log of the
+// current commit is compared against the committed baseline
+// (bench-baseline.txt), and any benchmark whose ns/op grew beyond the
+// threshold is emitted as a GitHub Actions ::warning annotation.
+// Regressions never fail the build — single-iteration smoke numbers on
+// shared runners are noisy, so the annotations are a prompt to re-measure,
+// not a verdict. Malformed input DOES fail it (exit 2): a benchmark line
+// whose ns/op cannot be parsed, or a log with no benchmark results at all,
+// means the smoke run itself broke, and silently comparing nothing would
+// let real regressions sail through unmeasured.
 //
 // Usage:
 //
@@ -77,8 +81,13 @@ func parseLog(r io.Reader) (map[string]result, error) {
 	out := make(map[string]result)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineno := 0
 	for sc.Scan() {
-		name, ns, ok := parseLine(sc.Text())
+		lineno++
+		name, ns, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
 		if !ok {
 			continue
 		}
@@ -90,6 +99,9 @@ func parseLog(r io.Reader) (map[string]result, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results in log; did the bench run fail?")
+	}
 	for name, res := range out {
 		res.nsPerOp /= float64(res.lines)
 		out[name] = res
@@ -97,16 +109,19 @@ func parseLog(r io.Reader) (map[string]result, error) {
 	return out, nil
 }
 
-// parseLine parses one benchmark output line, reporting ok=false for
-// anything else (headers, PASS/ok lines, metrics-only lines).
-func parseLine(line string) (name string, nsPerOp float64, ok bool) {
+// parseLine parses one benchmark output line. Non-benchmark lines
+// (headers, PASS/ok lines, metrics-only lines) report ok=false; a line
+// that claims to be a benchmark result but cannot yield an ns/op value is
+// an error — truncated or corrupted logs must fail the comparison, not
+// thin it out silently.
+func parseLine(line string) (name string, nsPerOp float64, ok bool, err error) {
 	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+	if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false, nil
 	}
 	name = fields[0]
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if _, aerr := strconv.Atoi(name[i+1:]); aerr == nil {
 			name = name[:i]
 		}
 	}
@@ -114,13 +129,13 @@ func parseLine(line string) (name string, nsPerOp float64, ok bool) {
 		if fields[i] != "ns/op" {
 			continue
 		}
-		v, err := strconv.ParseFloat(fields[i-1], 64)
-		if err != nil {
-			return "", 0, false
+		v, perr := strconv.ParseFloat(fields[i-1], 64)
+		if perr != nil {
+			return "", 0, false, fmt.Errorf("benchmark %s has unparsable ns/op value %q", name, fields[i-1])
 		}
-		return name, v, true
+		return name, v, true, nil
 	}
-	return "", 0, false
+	return "", 0, false, fmt.Errorf("benchmark line for %s carries no ns/op field: %q", name, line)
 }
 
 // delta is one benchmark's comparison.

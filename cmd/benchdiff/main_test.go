@@ -47,16 +47,46 @@ func TestParseLogAveragesRepeats(t *testing.T) {
 	}
 }
 
-func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+func TestParseLineSkipsNonBenchmarks(t *testing.T) {
 	for _, line := range []string{
 		"PASS",
 		"ok  	sherlock	6.672s",
 		"goos: linux",
-		"BenchmarkNoNs 12 34 allocs/op",
+		"--- BENCH: BenchmarkX-8",
 		"",
 	} {
-		if _, _, ok := parseLine(line); ok {
-			t.Errorf("parseLine accepted %q", line)
+		if _, _, ok, err := parseLine(line); ok || err != nil {
+			t.Errorf("parseLine(%q) = ok %v, err %v; want skipped", line, ok, err)
+		}
+	}
+}
+
+// A line that claims to be a benchmark result but yields no ns/op value is
+// a hard error: truncated logs must fail the comparison, not thin it out.
+func TestParseLineErrorsOnMalformedBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkNoNs 12 34 allocs/op",
+		"BenchmarkTruncated-8   582",
+		"BenchmarkBadValue-8 582 woops ns/op",
+	} {
+		if _, _, _, err := parseLine(line); err == nil {
+			t.Errorf("parseLine accepted malformed line %q", line)
+		}
+	}
+}
+
+func TestParseLogErrorsCarryLineNumbers(t *testing.T) {
+	log := "goos: linux\nBenchmarkX-4 10 100 ns/op\nBenchmarkBad-4 10 nope ns/op\n"
+	_, err := parseLog(strings.NewReader(log))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line-3 parse error", err)
+	}
+}
+
+func TestParseLogErrorsOnEmptyResults(t *testing.T) {
+	for _, log := range []string{"", "goos: linux\nPASS\nok  \tsherlock\t0.1s\n"} {
+		if _, err := parseLog(strings.NewReader(log)); err == nil {
+			t.Errorf("parseLog accepted a log with no benchmark results: %q", log)
 		}
 	}
 }

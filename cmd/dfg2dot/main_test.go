@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildGraphWorkloads(t *testing.T) {
+	for _, w := range []string{"bitweaving", "sobel", "aes"} {
+		g, title, err := buildGraph("", w)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if title != w {
+			t.Fatalf("%s: title = %q", w, title)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("%s: empty graph", w)
+		}
+	}
+}
+
+func TestBuildGraphFromKernelFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.c")
+	src := `void halfadd(word a, word b, word *sum, word *carry) {
+	*sum = a ^ b;
+	*carry = a & b;
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, title, err := buildGraph(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title != "halfadd" {
+		t.Fatalf("title = %q, want kernel name", title)
+	}
+	var dot bytes.Buffer
+	if err := g.WriteDOT(&dot, title); err != nil {
+		t.Fatal(err)
+	}
+	out := dot.String()
+	for _, frag := range []string{"digraph", "halfadd", "a", "b"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, _, err := buildGraph("x.c", "aes"); err == nil {
+		t.Fatal("both -in and -workload accepted")
+	}
+	if _, _, err := buildGraph("", ""); err == nil {
+		t.Fatal("neither -in nor -workload accepted")
+	}
+	if _, _, err := buildGraph("", "nosuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, _, err := buildGraph("/nonexistent/k.c", ""); err == nil {
+		t.Fatal("missing kernel file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.c")
+	if err := os.WriteFile(bad, []byte("int main() { return 0; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildGraph(bad, ""); err == nil {
+		t.Fatal("unparsable kernel accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command sherlock-lint statically verifies CIM instruction programs
+// (Fig. 4 format) without executing them: def-before-use over the abstract
+// definedness lattice, array/column/row bounds against the fabric geometry,
+// merge and op-mux legality, plus liveness diagnostics (dead stores,
+// write-after-write shadows, unused host inputs, leftover row-buffer
+// values). See internal/verify for the property set.
+//
+// Usage:
+//
+//	sherlock-lint [-target 4x512x512] [-tech STT-MRAM] [-werror] prog.cim...
+//	sherlock-lint -array-size 512 -arrays 4 prog.cim...
+//
+// -array-size derives the fabric from the paper's Table 1 geometry
+// (arraymodel.DefaultConfig) instead of spelling it out; -tech additionally
+// bounds multi-row activations by the technology's limit. The exit status
+// is 0 for verifier-clean programs, 1 when any program carries an error
+// (or, with -werror, a warning), 2 on usage or parse failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sherlock/internal/arraymodel"
+	"sherlock/internal/device"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/verify"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sherlock-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target    = fs.String("target", "4x512x512", "fabric as ARRAYSxROWSxCOLS")
+		arraySize = fs.Int("array-size", 0, "derive the fabric from the Table 1 geometry of this array dimension (overrides -target rows/cols)")
+		arrays    = fs.Int("arrays", 4, "array count for -array-size")
+		tech      = fs.String("tech", "STT-MRAM", "technology whose row-activation limit bounds scouting reads")
+		werror    = fs.Bool("werror", false, "exit non-zero on warnings too")
+		quiet     = fs.Bool("quiet", false, "suppress per-file summary lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "sherlock-lint: no program files given")
+		fs.Usage()
+		return 2
+	}
+	tv, err := device.ParseTechnology(*tech)
+	if err != nil {
+		fmt.Fprintln(stderr, "sherlock-lint:", err)
+		return 2
+	}
+	params := device.ParamsFor(tv)
+	t, err := parseTarget(*target)
+	if err != nil {
+		fmt.Fprintln(stderr, "sherlock-lint:", err)
+		return 2
+	}
+	if *arraySize > 0 {
+		t = arraymodel.DefaultConfig(tv, *arraySize).Target(*arrays)
+	}
+
+	failed := false
+	for _, path := range fs.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "sherlock-lint:", err)
+			return 2
+		}
+		prog, err := isa.ParseProgram(string(text))
+		if err != nil {
+			fmt.Fprintf(stderr, "sherlock-lint: %s: %v\n", path, err)
+			return 2
+		}
+		rep := verify.ProgramOpts(prog, t, verify.Options{MaxRows: params.MaxRows})
+		counts := map[verify.Severity]int{}
+		for _, f := range rep.Findings {
+			counts[f.Severity]++
+			if f.Instr >= 0 {
+				fmt.Fprintf(stdout, "%s: instr %d (%s): %v[%s]: %s\n",
+					path, f.Instr, rep.Instruction(f), f.Severity, f.Code, f.Msg)
+			} else {
+				fmt.Fprintf(stdout, "%s: program: %v[%s]: %s\n", path, f.Severity, f.Code, f.Msg)
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "%s: %d instructions, %d errors, %d warnings, %d notes\n",
+				path, len(prog), counts[verify.SevError], counts[verify.SevWarning], counts[verify.SevInfo])
+		}
+		if counts[verify.SevError] > 0 || (*werror && counts[verify.SevWarning] > 0) {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func parseTarget(s string) (layout.Target, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return layout.Target{}, fmt.Errorf("target %q not of form AxRxC", s)
+	}
+	var nums [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return layout.Target{}, fmt.Errorf("target %q: %v", s, err)
+		}
+		nums[i] = v
+	}
+	t := layout.Target{Arrays: nums[0], Rows: nums[1], Cols: nums[2]}
+	return t, t.Validate()
+}

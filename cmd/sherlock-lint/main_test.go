@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeProg writes instruction text to a temp file so the test exercises the
+// same parse path the CLI uses.
+func writeProg(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.cim")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	path := writeProg(t, "Write [0][0][0] <x>\nRead [0][0][0]\nWrite [0][0][1]\n")
+	var out, errb bytes.Buffer
+	code := run([]string{"-target", "1x4x4", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	want := path + ": 3 instructions, 0 errors, 0 warnings, 0 notes\n"
+	if out.String() != want {
+		t.Fatalf("stdout = %q, want %q", out.String(), want)
+	}
+}
+
+func TestLintReportsErrorWithInstructionIndex(t *testing.T) {
+	path := writeProg(t, "Read [0][0][0]\n") // reads an undefined cell
+	var out, errb bytes.Buffer
+	code := run([]string{"-target", "1x4x4", path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, frag := range []string{
+		path + ": instr 0 (Read [0][0][0]): error[undef-read]",
+		"read of undefined cell [0][0][0]",
+		"1 errors",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("stdout missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestLintWerrorPromotesWarnings(t *testing.T) {
+	// Instruction 1 loads buffer bit [0][0]; instruction 2 overwrites it
+	// before anything consumed it — a dead store, warning severity.
+	path := writeProg(t, "Write [0][0][0] <x>\nRead [0][0][0]\nRead [0][0][0]\nWrite [0][0][1]\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-target", "1x4x4", path}, &out, &errb); code != 0 {
+		t.Fatalf("without -werror: exit %d, stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "warning[dead-store]") {
+		t.Fatalf("expected a dead-store warning, got:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-werror", "-target", "1x4x4", path}, &out, &errb); code != 1 {
+		t.Fatalf("with -werror: exit %d, want 1", code)
+	}
+}
+
+func TestLintUsageAndParseFailures(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-target", "nonsense", "x.cim"}, &out, &errb); code != 2 {
+		t.Fatalf("bad target: exit %d, want 2", code)
+	}
+	if code := run([]string{"-tech", "DRAM", "x.cim"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown tech: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/prog.cim"}, &out, &errb); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	bad := writeProg(t, "NOT A PROGRAM\n")
+	if code := run([]string{bad}, &out, &errb); code != 2 {
+		t.Fatalf("unparsable file: exit %d, want 2", code)
+	}
+}
+
+func TestLintArraySizeGeometry(t *testing.T) {
+	// -array-size 128 with one array is a 128x128 fabric for every Table 1
+	// technology; a program touching row 200 must then be out of bounds.
+	path := writeProg(t, "Write [0][0][0] <x>\nRead [0][0][200]\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-array-size", "128", "-arrays", "1", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "error[bounds]") {
+		t.Fatalf("expected bounds error, got:\n%s", out.String())
+	}
+}
+
+func TestLintQuietSuppressesSummary(t *testing.T) {
+	path := writeProg(t, "Write [0][0][0] <x>\nRead [0][0][0]\nWrite [0][0][1]\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quiet", "-target", "1x4x4", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("expected empty stdout, got %q", out.String())
+	}
+}

@@ -4,11 +4,13 @@
 // Usage:
 //
 //	sherlock-sim -prog program.cim -target 4x512x512 \
-//	    -inputs "a=1,b=0,c=1" [-dump "0:3:10,0:3:11"] [-faults -tech STT-MRAM -seed 7]
+//	    -inputs "a=1,b=0,c=1" [-verify] [-dump "0:3:10,0:3:11"] \
+//	    [-faults -tech STT-MRAM -seed 7]
 //
 // Host-write instructions bind their named inputs from -inputs. -dump
 // reads back cells given as array:col:row triples; without -dump every
-// written cell is printed.
+// written cell is printed. -verify statically checks the program first and
+// exits with the full diagnostic list instead of failing mid-execution.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"sherlock/internal/layout"
 	"sherlock/internal/profiling"
 	"sherlock/internal/sim"
+	"sherlock/internal/verify"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 		target   = flag.String("target", "4x512x512", "fabric as ARRAYSxROWSxCOLS")
 		inputs   = flag.String("inputs", "", "comma-separated name=0|1 bindings")
 		dump     = flag.String("dump", "", "comma-separated array:col:row cells to read back")
+		doVerify = flag.Bool("verify", false, "statically verify the program before executing; exit with all diagnostics on failure")
 		faults   = flag.Bool("faults", false, "enable decision-failure fault injection")
 		tech     = flag.String("tech", "STT-MRAM", "technology for fault injection")
 		seed     = flag.Int64("seed", 1, "fault-injection seed")
@@ -66,6 +70,19 @@ func main() {
 	binds, err := parseInputs(*inputs)
 	if err != nil {
 		fatal(err)
+	}
+
+	// With -verify, surface every static diagnostic up front and refuse to
+	// run a broken program: a clean exit code plus the full finding list
+	// beats the first dynamic error (or a mid-run panic) it would hit.
+	if *doVerify {
+		rep := verify.Program(prog, t)
+		for _, f := range rep.Findings {
+			fmt.Fprintf(os.Stderr, "sherlock-sim: %v\n", f)
+		}
+		if !rep.OK() {
+			fatal(fmt.Errorf("program failed static verification; not executing"))
+		}
 	}
 
 	// Fault-free runs go through the pre-decoded executor (the production

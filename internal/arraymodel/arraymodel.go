@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"sherlock/internal/device"
+	"sherlock/internal/layout"
 )
 
 // Config describes one CIM array configuration (a Table 1 row).
@@ -44,6 +45,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("arraymodel: invalid data width %d", c.DataWidth)
 	}
 	return nil
+}
+
+// Target returns the addressable fabric of `arrays` such macros — the
+// geometry bound the mapper, the simulators, and the static verifier all
+// check program coordinates against.
+func (c Config) Target(arrays int) layout.Target {
+	return layout.Target{Arrays: arrays, Rows: c.Rows, Cols: c.Cols}
 }
 
 // Technology-dependent timing/energy primitives. Values are representative

@@ -130,6 +130,9 @@ func Fig6Summary(series []Fig6Series) map[device.Technology]float64 {
 		byKey[key{s.Tech, s.Optimized}] = s
 	}
 	out := make(map[device.Technology]float64)
+	// Each output entry depends only on its own (tech, opt) pair, so the
+	// iteration order cannot reach the result.
+	//sherlock:allow rangemap
 	for k, naive := range byKey {
 		if k.opt {
 			continue

@@ -134,10 +134,17 @@ func Summarize(rows []Table2Row) Table2Summary {
 	var s Table2Summary
 	latProd, enProd, n := 1.0, 1.0, 0
 	mraProd, m := 1.0, 0
-	for key, naive := range byCfg {
-		if key.optimized {
+	// Iterate the input slice, not byCfg: the products below are
+	// floating-point and therefore order-sensitive in their last bits, and
+	// map iteration order would make the published summary wobble per run.
+	seen := make(map[cfg]bool)
+	for _, r := range rows {
+		key := cfg{r.Tech, r.Workload, r.ArraySize, r.MultiRow, r.Optimized}
+		if key.optimized || seen[key] {
 			continue
 		}
+		seen[key] = true
+		naive := byCfg[key]
 		optKey := key
 		optKey.optimized = true
 		opt, ok := byCfg[optKey]

@@ -492,7 +492,7 @@ func (p Program) ComputeStats() Stats {
 // SenseClasses returns the stats' sense classes in a stable order.
 func (s Stats) SenseClasses() []SenseClass {
 	out := make([]SenseClass, 0, len(s.SenseEvents))
-	for c := range s.SenseEvents {
+	for c := range s.SenseEvents { //sherlock:allow rangemap (sorted below)
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool {

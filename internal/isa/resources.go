@@ -114,6 +114,24 @@ func (p Program) ResourceSpace() Space {
 	return s
 }
 
+// Clamp bounds the space to a fabric geometry of the given arrays, columns
+// and rows. Consumers that size state from a program-derived space
+// (sim.Predecode, the static verifier) clamp first so a hostile coordinate
+// cannot inflate allocations; the out-of-bounds coordinate itself still
+// fails their bounds checks with the machines' exact error.
+func (s Space) Clamp(arrays, cols, rows int) Space {
+	if s.Arrays > arrays {
+		s.Arrays = arrays
+	}
+	if s.BufCols > cols {
+		s.BufCols = cols
+	}
+	if s.Rows > rows {
+		s.Rows = rows
+	}
+	return s
+}
+
 // Size returns the number of distinct resource IDs: one per row-buffer bit
 // plus one per cell.
 func (s Space) Size() int { return s.Arrays * s.BufCols * (1 + s.Rows) }

@@ -366,6 +366,11 @@ func (c *clusterer) mergeClusters(k int) {
 		// Merge b into a; fold b's adjacency into a's.
 		c.absorb(ca, cb)
 		delete(adj[a], b)
+		// Each neighbour o is folded exactly once and the pair heap has a
+		// strict total order on (weight, key), so the pop sequence — and
+		// with it the emitted program — is independent of this iteration
+		// order. The byte-pinned goldens hold that promise to account.
+		//sherlock:allow rangemap
 		for o, w := range adj[b] {
 			if o == a {
 				continue

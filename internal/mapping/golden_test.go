@@ -8,6 +8,7 @@ import (
 	"sherlock/internal/dfg"
 	"sherlock/internal/layout"
 	"sherlock/internal/mapping"
+	"sherlock/internal/verify"
 	"sherlock/internal/workloads/aes"
 	"sherlock/internal/workloads/bitweaving"
 	"sherlock/internal/workloads/sobel"
@@ -62,6 +63,16 @@ func TestGoldenPrograms(t *testing.T) {
 				if got != string(want) {
 					t.Fatalf("emitted program differs from pinned golden (%d vs %d bytes); if the change is intentional, regenerate with `go run ./internal/mapping/goldengen internal/mapping/testdata`",
 						len(got), len(want))
+				}
+				// Every emitted program is verifier-clean by construction —
+				// and not just error-free: the mappers consume every buffer
+				// value they load and never shadow a live cell, so the
+				// pinned bar is zero findings at ANY severity.
+				if rep := verify.Program(res.Program, c.opt.Target); len(rep.Findings) != 0 {
+					for _, f := range rep.Findings[:min(len(rep.Findings), 10)] {
+						t.Errorf("verifier finding: %v", f)
+					}
+					t.Fatalf("emitted program has %d static findings; the mapper regressed", len(rep.Findings))
 				}
 			})
 		}

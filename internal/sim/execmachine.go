@@ -303,7 +303,8 @@ func (m *ExecMachine) RunMap(inputs map[string]uint64) error {
 		}
 	}
 	clear(m.in)
-	for name, w := range inputs {
+	// Every name lands in its own slot word, so order is immaterial.
+	for name, w := range inputs { //sherlock:allow rangemap
 		if s, ok := e.slots[name]; ok {
 			m.in[s*m.block] = w
 		}

@@ -99,19 +99,10 @@ func Predecode(p isa.Program, t layout.Target) (*Exec, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	sp := p.ResourceSpace()
 	// Clamp the space to the target. Any coordinate beyond the target fails
 	// decoding below with the machines' exact error; the clamp only keeps a
 	// hostile coordinate from inflating the decode-time allocations first.
-	if sp.Arrays > t.Arrays {
-		sp.Arrays = t.Arrays
-	}
-	if sp.BufCols > t.Cols {
-		sp.BufCols = t.Cols
-	}
-	if sp.Rows > t.Rows {
-		sp.Rows = t.Rows
-	}
+	sp := p.ResourceSpace().Clamp(t.Arrays, t.Cols, t.Rows)
 	e := &Exec{
 		target:   t,
 		prog:     p,

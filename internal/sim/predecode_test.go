@@ -8,6 +8,7 @@ import (
 	"sherlock/internal/device"
 	"sherlock/internal/isa"
 	"sherlock/internal/layout"
+	"sherlock/internal/verify"
 )
 
 // execRunWords predecodes and runs a program on a fresh block machine,
@@ -39,6 +40,14 @@ func TestExecMatchesScalarAndLaneFuzz(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		pm, defined := randomProgram(rng, target, 24)
 		lanes := laneChoices[trial%len(laneChoices)]
+
+		// Every program this oracle executes must also pass the static
+		// verifier: the fuzz corpus doubles as the verifier's accept-side
+		// evidence (the reject side lives in verify_fuzz_test.go).
+		if err := verify.Program(pm.prog, target).Err(); err != nil {
+			t.Fatalf("trial %d: static verifier rejected a runnable program: %v\nprogram:\n%s",
+				trial, err, pm.prog)
+		}
 
 		words := make(map[string]uint64, len(pm.names))
 		perLane := make([]map[string]bool, lanes)

@@ -39,6 +39,7 @@ import (
 	"sherlock/internal/pool"
 	"sherlock/internal/reliability"
 	"sherlock/internal/sim"
+	"sherlock/internal/verify"
 )
 
 // Re-exported core types. The internal packages hold the implementations;
@@ -68,6 +69,10 @@ type (
 	ReliabilityReport = reliability.Report
 	// MappingStats summarizes what the mapper did.
 	MappingStats = mapping.Stats
+	// VerifyReport is the static verifier's result for a program.
+	VerifyReport = verify.Report
+	// VerifyFinding is one static-verifier diagnostic.
+	VerifyFinding = verify.Finding
 )
 
 // Supported technologies.
@@ -131,6 +136,13 @@ type Options struct {
 	// WearLeveling spreads recycled-row reuse across the column (FIFO
 	// rotation after fresh rows), trading locality for endurance.
 	WearLeveling bool
+
+	// VerifyEmitted runs the static program verifier (internal/verify) on
+	// the emitted instruction stream before returning from compilation — a
+	// debug gate proving the mapper's output is def-before-use sound,
+	// in-bounds, and free of dead stores or shadowed writes without
+	// executing a single lane. Compilation fails if any finding surfaces.
+	VerifyEmitted bool
 }
 
 func (o Options) withDefaults() Options {
@@ -216,13 +228,31 @@ func CompileGraph(g *Graph, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{
+	c := &Compiled{
 		Graph:   g,
 		Program: res.Program,
 		Stats:   res.Stats,
 		opts:    opts,
 		result:  res,
-	}, nil
+	}
+	if opts.VerifyEmitted {
+		if rep := c.Verify(); len(rep.Findings) != 0 {
+			return nil, fmt.Errorf("sherlock: emitted program failed static verification (%d findings, first: %v)",
+				len(rep.Findings), rep.Findings[0])
+		}
+	}
+	return c, nil
+}
+
+// Verify statically analyzes the compiled program against its fabric: the
+// full strict-mode property set (def-before-use, bounds, merge legality)
+// plus liveness diagnostics the interpreter cannot give (dead stores,
+// write-after-write shadows, unused inputs, leftover row-buffer values).
+// A correct mapper produces zero findings; see internal/verify.
+func (c *Compiled) Verify() *VerifyReport {
+	return verify.ProgramOpts(c.Program, c.result.Layout.Target(), verify.Options{
+		MaxRows: device.ParamsFor(c.opts.Tech).MaxRows,
+	})
 }
 
 // Cost measures the program under the compiled technology and array size,

@@ -288,3 +288,46 @@ func TestRunBatchPropagatesError(t *testing.T) {
 		t.Fatalf("error %q does not name failing batch index 70", err)
 	}
 }
+
+// TestVerifyCompiledPrograms: the facade verifier must report zero findings
+// for both mappers' emitted programs, at any severity — the compile-time
+// proof that mapping and merging preserved def-before-use soundness.
+func TestVerifyCompiledPrograms(t *testing.T) {
+	for _, mapper := range []MapperKind{MapperNaive, MapperOptimized} {
+		for _, mra := range []bool{false, true} {
+			c, err := CompileC(demoKernel, Options{
+				Mapper: mapper, Tech: STTMRAM, ArraySize: 128,
+				MultiRowActivation: mra, RecycleRows: mra,
+			})
+			if err != nil {
+				t.Fatalf("%v/mra=%v: %v", mapper, mra, err)
+			}
+			rep := c.Verify()
+			for _, f := range rep.Findings {
+				t.Errorf("%v/mra=%v: %v", mapper, mra, f)
+			}
+			if len(rep.Findings) != 0 {
+				t.Fatalf("%v/mra=%v: emitted program has static findings", mapper, mra)
+			}
+			if got, want := strings.Join(rep.Bindings(), ","), strings.Join(c.Program.Bindings(), ","); got != want {
+				t.Fatalf("%v/mra=%v: verifier bindings %q, program bindings %q", mapper, mra, got, want)
+			}
+		}
+	}
+}
+
+// TestVerifyEmittedOption: the debug flag gates compilation on the
+// verifier; a healthy compile passes through unchanged.
+func TestVerifyEmittedOption(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{VerifyEmitted: true})
+	if err != nil {
+		t.Fatalf("verified compile failed: %v", err)
+	}
+	out, err := c.Run(map[string]bool{"a": true, "b": false, "c": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("outputs = %v", out)
+	}
+}
