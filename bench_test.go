@@ -248,6 +248,42 @@ func BenchmarkMapperOptimizedSynthetic(b *testing.B) {
 	}
 }
 
+// BenchmarkMapperSynthetic100k maps a 100k-op synthetic DFG end to end —
+// roughly 8x the 12k benchmark. It exists to catch super-linear scaling in
+// the clusterer or scheduler: a quadratic term that hides inside the 12k
+// run dominates outright at this size.
+func BenchmarkMapperSynthetic100k(b *testing.B) {
+	g := buildSyntheticDFG(b, 256, 100000)
+	t := layout.Target{Arrays: 16, Rows: 512, Cols: 512} // ~6.6k clusters need >4096 columns
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.Optimized(g, mapping.Options{Target: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleReadyQueue times the hazard-gated ready-dispatch merger
+// alone: forward ready levels, backward deadlines, slack-window fusion and
+// bitmap-queue dispatch over a 12k-op synthetic program.
+func BenchmarkScheduleReadyQueue(b *testing.B) {
+	g := buildSyntheticDFG(b, 128, 12000)
+	t := layout.Target{Arrays: 8, Rows: 512, Cols: 512}
+	res, err := mapping.Naive(g, mapping.Options{Target: t})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var merged int
+	for i := 0; i < b.N; i++ {
+		_, merged = mapping.MergeInstructions(res.Program)
+	}
+	b.ReportMetric(float64(len(res.Program)), "instr_before")
+	b.ReportMetric(float64(len(res.Program)-merged), "instr_after")
+}
+
 func BenchmarkSimulatorBitweaving(b *testing.B) {
 	cfg := bitweaving.Config{Bits: 16, Segments: 8}
 	g, err := bitweaving.Build(cfg)

@@ -27,7 +27,8 @@
 //	sherlock-vet [-root DIR] [packages...]
 //
 // Packages default to the deterministic core: internal/mapping,
-// internal/sim, internal/experiments, internal/isa. Directories are scanned
+// internal/sim, internal/experiments, internal/isa, internal/readyq.
+// Directories are scanned
 // non-recursively and _test.go files are skipped. Exit status: 0 clean,
 // 1 findings, 2 parse/usage failure.
 package main
@@ -51,6 +52,7 @@ var defaultDirs = []string{
 	"internal/sim",
 	"internal/experiments",
 	"internal/isa",
+	"internal/readyq",
 }
 
 func main() {

@@ -166,6 +166,46 @@ func UnionOnesCount(a, b *Vector) int {
 	return total
 }
 
+// IntersectOnesCountRange returns the popcount of a&b over the inclusive
+// word-index range [lo, hi]. Callers bound the range to where both vectors
+// can have bits, turning full-length scans into short ones.
+func IntersectOnesCountRange(a, b *Vector, lo, hi int) int {
+	total := 0
+	bw := b.words[lo : hi+1]
+	for i, w := range a.words[lo : hi+1] {
+		total += bits.OnesCount64(w & bw[i])
+	}
+	return total
+}
+
+// OrWithRange ors src's words [lo, hi] (inclusive) into v. When src has no
+// bits outside the range, the result equals a full OrWith.
+func (v *Vector) OrWithRange(src *Vector, lo, hi int) {
+	sw := src.words[lo : hi+1]
+	vw := v.words[lo : hi+1]
+	for i := range vw {
+		vw[i] |= sw[i]
+	}
+}
+
+// OrWithRangeCountNew ors src's words [lo, hi] (inclusive) into v and
+// returns how many bits that newly turned on.
+func (v *Vector) OrWithRangeCountNew(src *Vector, lo, hi int) int {
+	total := 0
+	sw := src.words[lo : hi+1]
+	vw := v.words[lo : hi+1]
+	for i, w := range sw {
+		total += bits.OnesCount64(w &^ vw[i])
+		vw[i] |= w
+	}
+	return total
+}
+
+// ZeroRange clears words [lo, hi] (inclusive).
+func (v *Vector) ZeroRange(lo, hi int) {
+	clear(v.words[lo : hi+1])
+}
+
 // OnesCount returns the number of set bits.
 func (v *Vector) OnesCount() int {
 	total := 0

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"sherlock/internal/logic"
+	"sherlock/internal/readyq"
 )
 
 // NodeID identifies a node within one Graph.
@@ -70,9 +71,11 @@ type Graph struct {
 	// several times per compile (clustering, code generation) but only
 	// change when nodes are added. Guarded by mu so concurrent campaign
 	// workers can share one graph.
-	mu        sync.Mutex
-	blCache   []int32  // b-level per node (op entries only), nil when stale
-	prioCache []NodeID // ops by descending b-level, nil when stale
+	mu          sync.Mutex
+	blCache     []int32  // b-level per node (op entries only), nil when stale
+	maxBL       int32    // maximum b-level, valid when blCache is
+	prioCache   []NodeID // ops in ready-release priority order, nil when stale
+	sortedCache []NodeID // legacy pre-sorted order, built on demand
 }
 
 // New returns an empty graph.
@@ -89,7 +92,7 @@ func New() *Graph {
 
 func (g *Graph) addNode(n node) NodeID {
 	g.mu.Lock()
-	g.blCache, g.prioCache = nil, nil
+	g.blCache, g.prioCache, g.sortedCache = nil, nil, nil
 	g.mu.Unlock()
 	g.nodes = append(g.nodes, n)
 	return NodeID(len(g.nodes) - 1)
@@ -232,6 +235,9 @@ func (g *Graph) IsOutput(id NodeID) bool {
 	}
 	return false
 }
+
+// NumOps returns the number of op nodes.
+func (g *Graph) NumOps() int { return len(g.opInputs) }
 
 // OpNodes returns all op node IDs in creation (and therefore topological)
 // order.
@@ -389,12 +395,23 @@ func (g *Graph) TopoOps() []NodeID { return g.OpNodes() }
 // Callers must hold g.mu. The b-level recurrence maximizes over an op's
 // consumers directly (duplicate consumers cannot change a maximum), so no
 // per-op successor set is materialized.
+//
+// The priority order is produced by an event-driven ready-queue traversal
+// instead of pre-sorting all nodes: an op is released into a bitmap bucket
+// queue (internal/readyq, keyed by descending b-level) the moment its last
+// predecessor retires, and retiring the queue head releases its dependents
+// in O(1). The pop sequence is still globally non-increasing in b-level —
+// when the head has b-level b, every unprocessed op with a higher b-level
+// would already be ready and queued ahead of it — but ties within one
+// b-level come out in ready-release (wake-up) order rather than by node ID,
+// and the O(n log n) sort is gone.
 func (g *Graph) ensureOrder() {
 	if g.blCache != nil {
 		return
 	}
 	bl := make([]int32, len(g.nodes))
 	ops := g.OpNodes()
+	maxBL := int32(0)
 	for i := len(ops) - 1; i >= 0; i-- {
 		op := ops[i]
 		best := int32(0)
@@ -404,14 +421,45 @@ func (g *Graph) ensureOrder() {
 			}
 		}
 		bl[op] = best + 1
-	}
-	sort.SliceStable(ops, func(i, j int) bool {
-		if bl[ops[i]] != bl[ops[j]] {
-			return bl[ops[i]] > bl[ops[j]]
+		if bl[op] > maxBL {
+			maxBL = bl[op]
 		}
-		return ops[i] < ops[j]
-	})
-	g.blCache, g.prioCache = bl, ops
+	}
+
+	order := make([]NodeID, 0, len(ops))
+	pending := make([]int32, len(g.nodes))
+	q := readyq.Get(len(g.nodes), int(maxBL)+1)
+	for _, op := range ops { // creation order seeds the queue deterministically
+		n := int32(0)
+		for _, in := range g.opInputs[op] {
+			if _, ok := g.producer[in]; ok {
+				n++
+			}
+		}
+		pending[op] = n
+		if n == 0 {
+			q.Push(int32(op), maxBL-bl[op])
+		}
+	}
+	for {
+		it, _, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		op := NodeID(it)
+		order = append(order, op)
+		for _, c := range g.consumers[g.opOutput[op]] { // retire: wake dependents
+			pending[c]--
+			if pending[c] == 0 {
+				q.Push(int32(c), maxBL-bl[c])
+			}
+		}
+	}
+	readyq.Put(q)
+	if len(order) != len(ops) {
+		panic("dfg: ready traversal did not reach every op (graph not acyclic?)")
+	}
+	g.blCache, g.maxBL, g.prioCache = bl, maxBL, order
 }
 
 // BLevels computes the b-level (longest path to any sink, counting op nodes
@@ -471,14 +519,39 @@ func (g *Graph) TLevels() map[NodeID]int {
 	return tl
 }
 
-// OpsByPriority returns op nodes sorted by descending b-level, ties broken
-// by ascending ID for determinism. This is the node queue nq used by both
-// Algorithm 1 and Algorithm 2. The order is cached on the graph; the
+// OpsByPriority returns op nodes in descending b-level order — the node
+// queue nq used by both Algorithm 1 and Algorithm 2. The order comes from
+// the event-driven ready-queue traversal (see ensureOrder): b-levels are
+// globally non-increasing, and ties within one b-level appear in
+// deterministic ready-release order. The order is cached on the graph; the
 // returned slice is a fresh copy the caller may mutate.
 func (g *Graph) OpsByPriority() []NodeID {
 	g.mu.Lock()
 	g.ensureOrder()
 	out := append([]NodeID(nil), g.prioCache...)
+	g.mu.Unlock()
+	return out
+}
+
+// OpsByPrioritySorted returns the historical node queue: op nodes sorted
+// by descending b-level with ties broken by ascending ID. It is retained
+// for the legacy level-scheduler path (mapping.Options.LegacyLevelScheduler)
+// and the differential tests that pit the ready-queue scheduler against it.
+func (g *Graph) OpsByPrioritySorted() []NodeID {
+	g.mu.Lock()
+	g.ensureOrder()
+	if g.sortedCache == nil {
+		bl := g.blCache
+		ops := g.OpNodes()
+		sort.SliceStable(ops, func(i, j int) bool {
+			if bl[ops[i]] != bl[ops[j]] {
+				return bl[ops[i]] > bl[ops[j]]
+			}
+			return ops[i] < ops[j]
+		})
+		g.sortedCache = ops
+	}
+	out := append([]NodeID(nil), g.sortedCache...)
 	g.mu.Unlock()
 	return out
 }

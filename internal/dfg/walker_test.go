@@ -1,0 +1,144 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/logic"
+)
+
+// randomDAG builds a random layered graph for order tests.
+func randomDAG(seed int64, nInputs, nOps int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	operands := make([]NodeID, 0, nInputs+nOps)
+	for i := 0; i < nInputs; i++ {
+		operands = append(operands, g.AddInput(""))
+	}
+	ops := []logic.Op{logic.And, logic.Or, logic.Xor}
+	for i := 0; i < nOps; i++ {
+		a := operands[rng.Intn(len(operands))]
+		b := operands[rng.Intn(len(operands))]
+		for b == a {
+			b = operands[rng.Intn(len(operands))]
+		}
+		out := g.AddOp(ops[rng.Intn(len(ops))], a, b)
+		operands = append(operands, out)
+	}
+	return g
+}
+
+func checkPriorityOrder(t *testing.T, g *Graph, order []NodeID) {
+	t.Helper()
+	if len(order) != len(g.OpNodes()) {
+		t.Fatalf("order has %d ops, graph has %d", len(order), len(g.OpNodes()))
+	}
+	seen := make(map[NodeID]bool, len(order))
+	for i, op := range order {
+		for _, p := range g.OpPreds(op) {
+			if !seen[p] {
+				t.Fatalf("op %d at position %d before predecessor %d", op, i, p)
+			}
+		}
+		seen[op] = true
+	}
+}
+
+func TestOpsByPriorityIsTopoAndDescending(t *testing.T) {
+	g := randomDAG(7, 12, 300)
+	order := g.OpsByPriority()
+	checkPriorityOrder(t, g, order)
+	// The event-driven traversal must still be globally non-increasing in
+	// b-level: with retire-on-pop, any unprocessed op with a higher
+	// b-level would already be ready and queued ahead.
+	for i := 1; i < len(order); i++ {
+		if g.BLevel(order[i]) > g.BLevel(order[i-1]) {
+			t.Fatalf("b-level increases at position %d: %d after %d",
+				i, g.BLevel(order[i]), g.BLevel(order[i-1]))
+		}
+	}
+	// Deterministic across graphs built identically.
+	again := randomDAG(7, 12, 300).OpsByPriority()
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("order not deterministic at %d: %d vs %d", i, order[i], again[i])
+		}
+	}
+}
+
+func TestOpsByPrioritySortedMatchesLegacyOrder(t *testing.T) {
+	g := randomDAG(11, 8, 200)
+	order := g.OpsByPrioritySorted()
+	checkPriorityOrder(t, g, order)
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if g.BLevel(b) > g.BLevel(a) {
+			t.Fatalf("b-level increases at %d", i)
+		}
+		if g.BLevel(b) == g.BLevel(a) && b < a {
+			t.Fatalf("tie at %d not in ascending ID order: %d then %d", i, a, b)
+		}
+	}
+}
+
+func TestReadyWalkerWindows(t *testing.T) {
+	g := randomDAG(3, 10, 500)
+	for _, window := range []int{1, 7, 64, 1 << 20} {
+		w := g.NewReadyWalker()
+		var order []NodeID
+		for {
+			batch := w.Next(window)
+			if batch == nil {
+				break
+			}
+			if len(batch) > window {
+				t.Fatalf("window %d: batch of %d", window, len(batch))
+			}
+			order = append(order, batch...)
+		}
+		w.Close()
+		checkPriorityOrder(t, g, order)
+		if w.Emitted() != len(order) {
+			t.Fatalf("Emitted() = %d, issued %d", w.Emitted(), len(order))
+		}
+	}
+	// Window 1 retire-on-pop degenerates to the cached priority order.
+	w := g.NewReadyWalker()
+	defer w.Close()
+	want := g.OpsByPriority()
+	for i := 0; ; i++ {
+		batch := w.Next(1)
+		if batch == nil {
+			if i != len(want) {
+				t.Fatalf("walker ended after %d ops, want %d", i, len(want))
+			}
+			break
+		}
+		if batch[0] != want[i] {
+			t.Fatalf("window-1 order diverges at %d: %d vs %d", i, batch[0], want[i])
+		}
+	}
+}
+
+func TestReadyWalkerNoPredecessorInSameWindow(t *testing.T) {
+	g := randomDAG(19, 6, 400)
+	w := g.NewReadyWalker()
+	defer w.Close()
+	for {
+		batch := w.Next(64)
+		if batch == nil {
+			break
+		}
+		in := make(map[NodeID]bool, len(batch))
+		for _, op := range batch {
+			in[op] = true
+		}
+		for _, op := range batch {
+			for _, p := range g.OpPreds(op) {
+				if in[p] {
+					t.Fatalf("op %d and its predecessor %d issued in one window", op, p)
+				}
+			}
+		}
+	}
+}

@@ -93,7 +93,8 @@ type Space struct {
 // ResourceSpace scans the program once and returns its dense ID space.
 func (p Program) ResourceSpace() Space {
 	s := Space{}
-	for _, in := range p {
+	for i := range p {
+		in := &p[i]
 		if in.Array+1 > s.Arrays {
 			s.Arrays = in.Array + 1
 		}

@@ -7,7 +7,6 @@ package layout
 
 import (
 	"fmt"
-	"sort"
 
 	"sherlock/internal/dfg"
 )
@@ -46,12 +45,19 @@ type ColumnRef struct {
 
 // Layout is the operand-to-cell assignment. The zero value is unusable;
 // construct with New.
+//
+// NodeIDs and column coordinates are both dense small integers, so the hot
+// per-allocation state lives in flat slices: the canonical home cell is
+// stored inline per operand (no per-node slice allocation), and only the
+// rare duplicate placements of the naive mapper spill into a map.
 type Layout struct {
 	target   Target
-	places   map[dfg.NodeID][]Place // operand -> cells holding it (first = home)
+	home     []Place                // operand -> canonical cell; Row < 0 = unplaced
+	more     map[dfg.NodeID][]Place // duplicate cells beyond the home (naive mapper)
+	placed   int                    // operands with at least one cell
 	occupant map[Place]dfg.NodeID
-	fill     map[ColumnRef]int   // bump allocator: next free row per column
-	freed    map[ColumnRef][]int // recycled rows available below the bump point
+	fill     []int32   // bump allocator: next free row, indexed by array*Cols+col
+	freed    [][]int32 // recycled rows available below the bump point
 	recycled int
 
 	// WearLeveling switches the recycled-row pool from LIFO (reuse the
@@ -68,15 +74,41 @@ func New(t Target) *Layout {
 	}
 	return &Layout{
 		target:   t,
-		places:   make(map[dfg.NodeID][]Place),
+		more:     make(map[dfg.NodeID][]Place),
 		occupant: make(map[Place]dfg.NodeID),
-		fill:     make(map[ColumnRef]int),
-		freed:    make(map[ColumnRef][]int),
+		fill:     make([]int32, t.Arrays*t.Cols),
+		freed:    make([][]int32, t.Arrays*t.Cols),
 	}
 }
 
 // Target returns the fabric description.
 func (l *Layout) Target() Target { return l.target }
+
+// colIndex flattens a (validated) column reference.
+func (l *Layout) colIndex(c ColumnRef) int { return c.Array*l.target.Cols + c.Col }
+
+// homeAt returns the operand's inline home slot, or nil if the slot has
+// never been touched.
+func (l *Layout) homeAt(node dfg.NodeID) *Place {
+	if int(node) >= len(l.home) {
+		return nil
+	}
+	return &l.home[node]
+}
+
+// ensureHome grows the home table to cover node and returns its slot.
+func (l *Layout) ensureHome(node dfg.NodeID) *Place {
+	for int(node) >= len(l.home) {
+		n := max(2*cap(l.home), int(node)+1)
+		grown := make([]Place, len(l.home), n)
+		copy(grown, l.home)
+		l.home = grown[:cap(grown)]
+		for i := len(grown); i < len(l.home); i++ {
+			l.home[i].Row = -1
+		}
+	}
+	return &l.home[node]
+}
 
 // Alloc places the operand at the next free row of the given column
 // (preferring recycled rows) and returns the cell. It fails when the
@@ -90,7 +122,12 @@ func (l *Layout) Alloc(node dfg.NodeID, c ColumnRef) (Place, error) {
 		return Place{}, fmt.Errorf("layout: column %v full (%d rows)", c, l.target.Rows)
 	}
 	p := Place{Array: c.Array, Col: c.Col, Row: row}
-	l.places[node] = append(l.places[node], p)
+	if slot := l.ensureHome(node); slot.Row < 0 {
+		*slot = p
+		l.placed++
+	} else {
+		l.more[node] = append(l.more[node], p)
+	}
 	l.occupant[p] = node
 	return p, nil
 }
@@ -101,31 +138,32 @@ func (l *Layout) Alloc(node dfg.NodeID, c ColumnRef) (Place, error) {
 // through freed rows FIFO, so programming cycles spread over every row of
 // the column before any row is written twice.
 func (l *Layout) pickRow(c ColumnRef) (int, bool) {
-	free := l.freed[c]
+	ci := l.colIndex(c)
+	free := l.freed[ci]
 	if l.WearLeveling {
-		if l.fill[c] < l.target.Rows {
-			row := l.fill[c]
-			l.fill[c] = row + 1
-			return row, true
+		if int(l.fill[ci]) < l.target.Rows {
+			row := l.fill[ci]
+			l.fill[ci] = row + 1
+			return int(row), true
 		}
 		if len(free) > 0 {
 			row := free[0]
-			l.freed[c] = free[1:]
+			l.freed[ci] = free[1:]
 			l.recycled++
-			return row, true
+			return int(row), true
 		}
 		return 0, false
 	}
 	if len(free) > 0 {
 		row := free[len(free)-1]
-		l.freed[c] = free[:len(free)-1]
+		l.freed[ci] = free[:len(free)-1]
 		l.recycled++
-		return row, true
+		return int(row), true
 	}
-	if l.fill[c] < l.target.Rows {
-		row := l.fill[c]
-		l.fill[c] = row + 1
-		return row, true
+	if int(l.fill[ci]) < l.target.Rows {
+		row := l.fill[ci]
+		l.fill[ci] = row + 1
+		return int(row), true
 	}
 	return 0, false
 }
@@ -134,12 +172,23 @@ func (l *Layout) pickRow(c ColumnRef) (int, bool) {
 // for reuse within their columns (liveness-driven row recycling). Calling
 // it for an unplaced operand is a no-op.
 func (l *Layout) Release(node dfg.NodeID) {
-	for _, p := range l.places[node] {
-		delete(l.occupant, p)
-		c := ColumnRef{Array: p.Array, Col: p.Col}
-		l.freed[c] = append(l.freed[c], p.Row)
+	slot := l.homeAt(node)
+	if slot == nil || slot.Row < 0 {
+		return
 	}
-	delete(l.places, node)
+	l.releaseCell(*slot)
+	for _, p := range l.more[node] {
+		l.releaseCell(p)
+	}
+	slot.Row = -1
+	delete(l.more, node)
+	l.placed--
+}
+
+func (l *Layout) releaseCell(p Place) {
+	delete(l.occupant, p)
+	ci := l.colIndex(ColumnRef{Array: p.Array, Col: p.Col})
+	l.freed[ci] = append(l.freed[ci], int32(p.Row))
 }
 
 // RecycledAllocs reports how many allocations were served from released
@@ -159,26 +208,40 @@ func (l *Layout) FreeRows(c ColumnRef) int {
 	if err := l.checkColumn(c); err != nil {
 		return 0
 	}
-	return l.target.Rows - l.fill[c] + len(l.freed[c])
+	ci := l.colIndex(c)
+	return l.target.Rows - int(l.fill[ci]) + len(l.freed[ci])
 }
 
 // Home returns the operand's canonical (first) cell.
 func (l *Layout) Home(node dfg.NodeID) (Place, bool) {
-	ps := l.places[node]
-	if len(ps) == 0 {
+	slot := l.homeAt(node)
+	if slot == nil || slot.Row < 0 {
 		return Place{}, false
 	}
-	return ps[0], true
+	return *slot, true
 }
 
 // Places returns every cell holding the operand (a copy).
 func (l *Layout) Places(node dfg.NodeID) []Place {
-	return append([]Place(nil), l.places[node]...)
+	slot := l.homeAt(node)
+	if slot == nil || slot.Row < 0 {
+		return nil
+	}
+	out := make([]Place, 0, 1+len(l.more[node]))
+	out = append(out, *slot)
+	return append(out, l.more[node]...)
 }
 
 // InColumn returns the operand's cell within the given column, if any.
 func (l *Layout) InColumn(node dfg.NodeID, c ColumnRef) (Place, bool) {
-	for _, p := range l.places[node] {
+	slot := l.homeAt(node)
+	if slot == nil || slot.Row < 0 {
+		return Place{}, false
+	}
+	if slot.Array == c.Array && slot.Col == c.Col {
+		return *slot, true
+	}
+	for _, p := range l.more[node] {
 		if p.Array == c.Array && p.Col == c.Col {
 			return p, true
 		}
@@ -193,33 +256,31 @@ func (l *Layout) OccupantAt(p Place) (dfg.NodeID, bool) {
 }
 
 // IsPlaced reports whether the operand has at least one cell.
-func (l *Layout) IsPlaced(node dfg.NodeID) bool { return len(l.places[node]) > 0 }
+func (l *Layout) IsPlaced(node dfg.NodeID) bool {
+	slot := l.homeAt(node)
+	return slot != nil && slot.Row >= 0
+}
 
 // CellsUsed returns the number of occupied cells.
 func (l *Layout) CellsUsed() int { return len(l.occupant) }
 
 // OperandsPlaced returns the number of distinct operands with a home.
-func (l *Layout) OperandsPlaced() int { return len(l.places) }
+func (l *Layout) OperandsPlaced() int { return l.placed }
 
 // DuplicateCells returns how many cells hold redundant copies (total cells
 // minus distinct operands) — the data-duplication overhead of a mapping.
-func (l *Layout) DuplicateCells() int { return len(l.occupant) - len(l.places) }
+func (l *Layout) DuplicateCells() int { return len(l.occupant) - l.placed }
 
 // ColumnsUsed returns the columns with at least one allocation, sorted by
-// (array, col).
+// (array, col). Column indices are already laid out in that order, so the
+// scan produces sorted output directly.
 func (l *Layout) ColumnsUsed() []ColumnRef {
-	out := make([]ColumnRef, 0, len(l.fill))
-	for c, n := range l.fill {
+	var out []ColumnRef
+	for ci, n := range l.fill {
 		if n > 0 {
-			out = append(out, c)
+			out = append(out, ColumnRef{Array: ci / l.target.Cols, Col: ci % l.target.Cols})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Array != out[j].Array {
-			return out[i].Array < out[j].Array
-		}
-		return out[i].Col < out[j].Col
-	})
 	return out
 }
 

@@ -1,7 +1,6 @@
 package mapping
 
 import (
-	"container/heap"
 	"fmt"
 	"slices"
 
@@ -12,34 +11,120 @@ import (
 // cluster is a group of op nodes destined for one CIM column. Its footprint
 // is the set of operand cells the column must hold: every input consumed by
 // the cluster's ops (locally produced or copied in) plus every output. The
-// footprint is a word-packed bitset over NodeIDs, so the capacity checks
-// and unions of the clustering loop are word-wide OR/popcount instead of
-// hash-map iteration.
+// representation is adaptive (see clusterer.dense): a bitset over the dense
+// operand numbering while the operand space is small enough that a bitset
+// scan beats a merge walk, a sorted slice of operand indices beyond that —
+// a footprint never exceeds maxSize entries, so the sparse form keeps
+// 100k-op DFGs at O(footprint) memory per cluster instead of O(operands).
+// Exactly one of fp/footprint is in use; both implement the same set
+// semantics, so the emitted program does not depend on the choice.
 type cluster struct {
-	id        int
-	ops       []dfg.NodeID
+	id  int
+	ops []dfg.NodeID
+
+	// Sparse form.
+	fp []int32 // sorted distinct operand indices; len(fp) ≤ maxSize
+
+	// Dense form.
 	footprint *bitvec.Vector
-	size      int // popcount of footprint, maintained incrementally
+	size      int32 // popcount of footprint
+	lo, hi    int32 // dirty word band [lo, hi] (hi < lo when empty)
 }
 
-func (c *cluster) footprintWith(extra []dfg.NodeID) int {
-	n := c.size
+func (c *cluster) has(x int32) bool {
+	if c.footprint != nil {
+		return c.footprint.Get(int(x))
+	}
+	_, ok := slices.BinarySearch(c.fp, x)
+	return ok
+}
+
+// fpSize returns the footprint's cardinality.
+func (c *cluster) fpSize() int {
+	if c.footprint != nil {
+		return int(c.size)
+	}
+	return len(c.fp)
+}
+
+// footprintWith sizes the union with extra operand cells; extra holds
+// dense operand indices (clusterer.fpIdx).
+func (c *cluster) footprintWith(extra []int32) int {
+	n := c.fpSize()
 	for _, x := range extra {
-		if !c.footprint.Get(int(x)) {
+		if !c.has(x) {
 			n++
 		}
 	}
 	return n
 }
 
-func (c *cluster) add(op dfg.NodeID, operands []dfg.NodeID) {
+func (c *cluster) add(op dfg.NodeID, operands []int32) {
 	c.ops = append(c.ops, op)
+	if c.footprint != nil {
+		for _, x := range operands {
+			if !c.footprint.Get(int(x)) {
+				c.footprint.Set(int(x), true)
+				c.size++
+				c.lo = min(c.lo, x>>6)
+				c.hi = max(c.hi, x>>6)
+			}
+		}
+		return
+	}
 	for _, x := range operands {
-		if !c.footprint.Get(int(x)) {
-			c.footprint.Set(int(x), true)
-			c.size++
+		if i, ok := slices.BinarySearch(c.fp, x); !ok {
+			c.fp = slices.Insert(c.fp, i, x)
 		}
 	}
+}
+
+// mergeSortedInto merges two sorted distinct slices into dst (deduplicating
+// values present in both) and returns it.
+func mergeSortedInto(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// unionSizeAbove reports whether the union of two sorted distinct slices
+// has more than limit elements, walking both only as far as needed.
+func unionSizeAbove(a, b []int32, limit int) bool {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+		n++
+		if n > limit {
+			return true
+		}
+		if n+(len(a)-i)+(len(b)-j) <= limit {
+			return false // even counting every remainder it fits
+		}
+	}
+	return n+(len(a)-i)+(len(b)-j) > limit
 }
 
 // clusterer runs the FindClusters procedure of Algorithm 2. All state is
@@ -52,15 +137,33 @@ type clusterer struct {
 	maxSize  int
 	opt      Options
 
+	// Footprints only ever hold operand cells, so they are indexed by a
+	// dense operand numbering instead of the full NodeID space. dense
+	// selects the footprint representation: a bitset while a full scan
+	// (numOperands/64 words) costs no more than a sparse merge walk
+	// (maxSize entries), sorted slices beyond that.
+	fpIdx       []int32 // NodeID -> dense operand index (-1 for ops)
+	numOperands int
+	dense       bool
+
 	clusters  []*cluster // indexed by cluster id; nil once absorbed
 	live      int        // clusters still alive
 	opCluster []int32    // NodeID -> cluster id (-1 until assigned)
 
 	// Reusable scratch.
-	fpBuf   []dfg.NodeID   // one op's footprint (inputs + output)
-	predBuf []dfg.NodeID   // one op's distinct predecessors
-	pcsBuf  []*cluster     // distinct predecessor clusters
+	fpBuf    []dfg.NodeID // one op's footprint (inputs + output)
+	fpIdxBuf []int32      // fpBuf translated to dense operand indices
+	predBuf  []dfg.NodeID // one op's distinct predecessors
+	pcsBuf   []*cluster   // distinct predecessor clusters
+	ubufA    []int32      // tryMergeAll's candidate union (double-buffered)
+	ubufB    []int32
+	fpFree   [][]int32 // absorbed clusters' sparse footprints, ready for reuse
+
+	// Dense-mode scratch.
 	union   *bitvec.Vector // tryMergeAll's candidate union
+	unionLo int32          // word band the last tryMergeAll dirtied
+	unionHi int32
+	vecFree []*bitvec.Vector // absorbed clusters' bitsets, ready for reuse
 }
 
 // opFootprint appends the operand cells an op contributes — its inputs and
@@ -82,22 +185,54 @@ func findClusters(g *dfg.Graph, opt Options, maxSize, k int) ([][]dfg.NodeID, er
 		maxSize:   maxSize,
 		opt:       opt,
 		opCluster: make([]int32, n),
-		union:     bitvec.New(n),
+		fpIdx:     make([]int32, n),
 	}
 	for i := range c.opCluster {
 		c.opCluster[i] = -1
+		c.fpIdx[i] = -1
 	}
-	for _, op := range g.OpsByPriority() {
-		if err := c.assign(op); err != nil {
-			return nil, err
-		}
+	for _, x := range g.Operands() {
+		c.fpIdx[x] = int32(c.numOperands)
+		c.numOperands++
+	}
+	c.dense = c.numOperands <= 64*maxSize
+	if c.dense {
+		c.union = bitvec.New(c.numOperands)
+		c.unionLo, c.unionHi = int32(c.union.Words()), -1
+	}
+	if err := forEachOp(g, opt, c.assign); err != nil {
+		return nil, err
 	}
 	c.mergeClusters(k)
 	return c.ordered(), nil
 }
 
-func (c *clusterer) newCluster(op dfg.NodeID, fp []dfg.NodeID) {
-	cl := &cluster{id: len(c.clusters), footprint: bitvec.New(c.numNodes)}
+// grabFp returns an empty footprint slice, reusing an absorbed cluster's
+// backing when one is free.
+func (c *clusterer) grabFp() []int32 {
+	if n := len(c.fpFree); n > 0 {
+		s := c.fpFree[n-1]
+		c.fpFree = c.fpFree[:n-1]
+		return s[:0]
+	}
+	return make([]int32, 0, 16)
+}
+
+func (c *clusterer) newCluster(op dfg.NodeID, fp []int32) {
+	var cl *cluster
+	if c.dense {
+		var v *bitvec.Vector
+		if n := len(c.vecFree); n > 0 {
+			// Recycled vectors were range-zeroed when freed; no Reset needed.
+			v = c.vecFree[n-1]
+			c.vecFree = c.vecFree[:n-1]
+		} else {
+			v = bitvec.New(c.numOperands)
+		}
+		cl = &cluster{id: len(c.clusters), footprint: v, lo: int32(v.Words()), hi: -1}
+	} else {
+		cl = &cluster{id: len(c.clusters), fp: c.grabFp()}
+	}
 	cl.add(op, fp)
 	c.clusters = append(c.clusters, cl)
 	c.live++
@@ -109,7 +244,11 @@ func (c *clusterer) newCluster(op dfg.NodeID, fp []dfg.NodeID) {
 // already assigned when the node is visited.
 func (c *clusterer) assign(op dfg.NodeID) error {
 	c.fpBuf = opFootprint(c.g, op, c.fpBuf[:0])
-	fp := c.fpBuf
+	c.fpIdxBuf = c.fpIdxBuf[:0]
+	for _, x := range c.fpBuf {
+		c.fpIdxBuf = append(c.fpIdxBuf, c.fpIdx[x])
+	}
+	fp := c.fpIdxBuf
 	if len(fp) > c.maxSize {
 		return fmt.Errorf("mapping: op %q needs %d cells, column holds %d", c.g.Name(op), len(fp), c.maxSize)
 	}
@@ -173,18 +312,63 @@ func (c *clusterer) assign(op dfg.NodeID) error {
 
 // tryMergeAll checks whether all predecessor clusters plus the op's own
 // footprint fit one column, and if so merges them. The candidate union is
-// word-wide ORs into a scratch bitset — nothing is modified unless the
-// merge is committed.
-func (c *clusterer) tryMergeAll(pcs []*cluster, fp []dfg.NodeID) *cluster {
-	c.union.CopyFrom(pcs[0].footprint)
-	for _, pc := range pcs[1:] {
-		c.union.OrWith(pc.footprint)
+// built in reusable scratch — nothing is modified unless the merge is
+// committed.
+func (c *clusterer) tryMergeAll(pcs []*cluster, fp []int32) *cluster {
+	if c.dense {
+		return c.tryMergeAllDense(pcs, fp)
 	}
-	total := c.union.OnesCount()
+	u := append(c.ubufA[:0], pcs[0].fp...)
+	buf := c.ubufB
+	for _, pc := range pcs[1:] {
+		buf = mergeSortedInto(buf[:0], u, pc.fp)
+		u, buf = buf, u
+	}
+	c.ubufA, c.ubufB = u, buf // keep the grown backings for reuse
+	total := len(u)
+	for i, x := range fp {
+		if _, ok := slices.BinarySearch(u, x); ok {
+			continue
+		}
+		if slices.Contains(fp[:i], x) {
+			continue // duplicate within the op's own footprint
+		}
+		total++
+	}
+	if total > c.maxSize {
+		return nil
+	}
+	dst := pcs[0]
+	for _, src := range pcs[1:] {
+		c.absorb(dst, src)
+	}
+	return dst
+}
+
+// tryMergeAllDense is tryMergeAll's bitset path: word-wide ORs into a
+// scratch vector, range-zeroed between calls.
+func (c *clusterer) tryMergeAllDense(pcs []*cluster, fp []int32) *cluster {
+	// The union scratch is only dirty where the previous call left bits;
+	// range-zero that band instead of wiping the whole vector.
+	if c.unionHi >= c.unionLo {
+		c.union.ZeroRange(int(c.unionLo), int(c.unionHi))
+	}
+	c.unionLo, c.unionHi = int32(c.union.Words()), -1
+	total := 0
+	for _, pc := range pcs {
+		if pc.hi < pc.lo {
+			continue
+		}
+		total += c.union.OrWithRangeCountNew(pc.footprint, int(pc.lo), int(pc.hi))
+		c.unionLo = min(c.unionLo, pc.lo)
+		c.unionHi = max(c.unionHi, pc.hi)
+	}
 	for _, x := range fp {
 		if !c.union.Get(int(x)) {
 			c.union.Set(int(x), true)
 			total++
+			c.unionLo = min(c.unionLo, x>>6)
+			c.unionHi = max(c.unionHi, x>>6)
 		}
 	}
 	if total > c.maxSize {
@@ -203,10 +387,48 @@ func (c *clusterer) absorb(dst, src *cluster) {
 		c.opCluster[op] = int32(dst.id)
 	}
 	dst.ops = append(dst.ops, src.ops...)
-	dst.footprint.OrWith(src.footprint)
-	dst.size = dst.footprint.OnesCount()
+	if c.dense {
+		if src.hi >= src.lo {
+			oLo, oHi := max(dst.lo, src.lo), min(dst.hi, src.hi)
+			inter := 0
+			if oLo <= oHi {
+				inter = bitvec.IntersectOnesCountRange(dst.footprint, src.footprint, int(oLo), int(oHi))
+			}
+			dst.footprint.OrWithRange(src.footprint, int(src.lo), int(src.hi))
+			dst.size += src.size - int32(inter)
+			dst.lo = min(dst.lo, src.lo)
+			dst.hi = max(dst.hi, src.hi)
+			// Range-zero now so newCluster can reuse the vector without a
+			// full Reset.
+			src.footprint.ZeroRange(int(src.lo), int(src.hi))
+		}
+		c.vecFree = append(c.vecFree, src.footprint)
+		src.footprint = nil
+	} else {
+		merged := mergeSortedInto(c.grabFp(), dst.fp, src.fp)
+		c.fpFree = append(c.fpFree, dst.fp, src.fp)
+		dst.fp = merged
+		src.fp = nil
+	}
 	c.clusters[src.id] = nil
 	c.live--
+}
+
+// unionAbove reports whether |A∪B| exceeds the column capacity, assuming
+// the caller already knows |A|+|B| does.
+func (c *clusterer) unionAbove(ca, cb *cluster) bool {
+	if c.dense {
+		// |A∪B| = |A|+|B|−|A∩B|, and the intersection can only live where
+		// the clusters' word bands overlap — usually a narrow band, since
+		// clusters grow from temporally adjacent ops.
+		oLo, oHi := max(ca.lo, cb.lo), min(ca.hi, cb.hi)
+		inter := 0
+		if oLo <= oHi {
+			inter = bitvec.IntersectOnesCountRange(ca.footprint, cb.footprint, int(oLo), int(oHi))
+		}
+		return int(ca.size+cb.size)-inter > c.maxSize
+	}
+	return unionSizeAbove(ca.fp, cb.fp, c.maxSize)
 }
 
 // score implements Eq. 1. The default form follows the paper's prose:
@@ -235,41 +457,102 @@ func (c *clusterer) score(op dfg.NodeID, pc *cluster, preds []dfg.NodeID) float6
 	return alpha*affinity - beta*float64(len(pc.ops))/float64(c.maxSize)
 }
 
-// pairKey canonically orders a cluster pair.
-type pairKey struct{ a, b int }
-
-func makePair(a, b int) pairKey {
+// makePair packs a canonically ordered cluster pair into one word, so the
+// dependence-occurrence list sorts as plain integers.
+func makePair(a, b int) uint64 {
 	if a > b {
 		a, b = b, a
 	}
-	return pairKey{a, b}
+	return uint64(a)<<32 | uint64(b)
 }
 
-type pairItem struct {
-	key    pairKey
-	weight int
-}
+// pairEdge is one weighted cluster pair on the merge heap.
+type pairEdge struct{ weight, a, b int32 }
 
-type pairHeap []pairItem
-
-func (h pairHeap) Len() int { return len(h) }
-func (h pairHeap) Less(i, j int) bool {
-	if h[i].weight != h[j].weight {
-		return h[i].weight > h[j].weight
+// edgeLess orders the merge heap: heaviest pair first, ties by ascending
+// pair — a strict total order, so the pop sequence is deterministic.
+func edgeLess(x, y pairEdge) bool {
+	if x.weight != y.weight {
+		return x.weight > y.weight
 	}
-	if h[i].key.a != h[j].key.a {
-		return h[i].key.a < h[j].key.a
+	if x.a != y.a {
+		return x.a < y.a
 	}
-	return h[i].key.b < h[j].key.b
+	return x.b < y.b
 }
-func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x any)   { *h = append(*h, x.(pairItem)) }
-func (h *pairHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// edgeHeap is a hand-rolled binary heap under edgeLess; container/heap's
+// interface indirection showed up in mapper profiles, and the merge loop
+// pushes and pops tens of thousands of edges.
+type edgeHeap []pairEdge
+
+func (h *edgeHeap) push(e pairEdge) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !edgeLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *edgeHeap) pop() pairEdge {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && edgeLess(s[r], s[l]) {
+			m = r
+		}
+		if !edgeLess(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// init establishes the heap property bottom-up (Floyd) in O(n).
+func (h edgeHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			l := 2*j + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && edgeLess(h[r], h[l]) {
+				m = r
+			}
+			if !edgeLess(h[m], h[j]) {
+				break
+			}
+			h[j], h[m] = h[m], h[j]
+			j = m
+		}
+	}
+}
 
 // mergeClusters greedily merges the most-dependent cluster pairs (data-flow
 // edges plus shared operands) until at most k clusters remain or nothing
 // more fits in a column. Pair weights are gathered by sorted-pair
-// accumulation: every dependence occurrence appends one pairKey (direct
+// accumulation: every dependence occurrence appends one packed pair (direct
 // data-flow edges append two, keeping their historical weight of 2), the
 // pair list is sorted once, and equal runs become weighted edges — no
 // per-operand set allocation.
@@ -277,7 +560,7 @@ func (c *clusterer) mergeClusters(k int) {
 	if c.live <= k {
 		return
 	}
-	var pairs []pairKey
+	var pairs []uint64
 	var idBuf []int32
 	var opBuf []dfg.NodeID
 	for _, op := range c.g.OpNodes() {
@@ -314,50 +597,62 @@ func (c *clusterer) mergeClusters(k int) {
 		slices.Sort(idBuf)
 		for i := 0; i < len(idBuf); i++ {
 			for j := i + 1; j < len(idBuf); j++ {
-				pairs = append(pairs, pairKey{int(idBuf[i]), int(idBuf[j])})
+				pairs = append(pairs, uint64(idBuf[i])<<32|uint64(idBuf[j]))
 			}
 		}
 	}
-	slices.SortFunc(pairs, func(x, y pairKey) int {
-		if x.a != y.a {
-			return x.a - y.a
-		}
-		return x.b - y.b
-	})
+	slices.Sort(pairs)
 
-	// Adjacency view for O(degree) weight folding on merge.
-	adj := make(map[int]map[int]int, c.live)
-	addEdge := func(a, b, w int) {
-		if adj[a] == nil {
-			adj[a] = make(map[int]int)
-		}
-		adj[a][b] += w
-	}
-	h := make(pairHeap, 0, len(pairs))
+	// Adjacency view for O(degree) weight folding on merge. Cluster ids
+	// are dense, so the outer level is a plain slice, and a degree
+	// pre-pass sizes each inner map once instead of growing it through
+	// several rehashes.
+	deg := make([]int32, len(c.clusters))
 	for i := 0; i < len(pairs); {
 		j := i
 		for j < len(pairs) && pairs[j] == pairs[i] {
 			j++
 		}
-		key, w := pairs[i], j-i
-		addEdge(key.a, key.b, w)
-		addEdge(key.b, key.a, w)
-		h = append(h, pairItem{key: key, weight: w})
+		deg[pairs[i]>>32]++
+		deg[pairs[i]&0xffffffff]++
 		i = j
 	}
-	heap.Init(&h)
+	adj := make([]map[int]int, len(c.clusters))
+	addEdge := func(a, b, w int) {
+		m := adj[a]
+		if m == nil {
+			m = make(map[int]int, deg[a]+4) // slack for folded-in edges
+			adj[a] = m
+		}
+		m[b] += w
+	}
+	h := make(edgeHeap, 0, len(pairs))
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
+		}
+		a, b, w := int(pairs[i]>>32), int(pairs[i]&0xffffffff), j-i
+		addEdge(a, b, w)
+		addEdge(b, a, w)
+		h = append(h, pairEdge{weight: int32(w), a: int32(a), b: int32(b)})
+		i = j
+	}
+	h.init()
 
-	for c.live > k && h.Len() > 0 {
-		it := heap.Pop(&h).(pairItem)
-		a, b := it.key.a, it.key.b
+	for c.live > k && len(h) > 0 {
+		it := h.pop()
+		a, b := int(it.a), int(it.b)
 		ca, cb := c.clusters[a], c.clusters[b]
 		if ca == nil || cb == nil {
 			continue // one side already merged away
 		}
-		if adj[a][b] != it.weight {
+		if adj[a][b] != int(it.weight) {
 			continue // stale weight; a fresher entry exists
 		}
-		if bitvec.UnionOnesCount(ca.footprint, cb.footprint) > c.maxSize {
+		// |A∪B| ≤ |A|+|B|, so most pairs resolve on the cached sizes alone;
+		// only when the sum overshoots is the union actually measured.
+		if ca.fpSize()+cb.fpSize() > c.maxSize && c.unionAbove(ca, cb) {
 			// Footprints only grow; this pair can never merge. Drop it.
 			delete(adj[a], b)
 			delete(adj[b], a)
@@ -378,9 +673,13 @@ func (c *clusterer) mergeClusters(k int) {
 			delete(adj[o], b)
 			addEdge(a, o, w)
 			addEdge(o, a, w)
-			heap.Push(&h, pairItem{key: makePair(a, o), weight: adj[a][o]})
+			na, nb := a, o
+			if na > nb {
+				na, nb = nb, na
+			}
+			h.push(pairEdge{weight: int32(adj[a][o]), a: int32(na), b: int32(nb)})
 		}
-		delete(adj, b)
+		adj[b] = nil
 	}
 }
 

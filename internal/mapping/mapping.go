@@ -10,6 +10,7 @@ package mapping
 
 import (
 	"fmt"
+	"sync"
 
 	"sherlock/internal/dfg"
 	"sherlock/internal/isa"
@@ -42,6 +43,20 @@ type Options struct {
 	// the most recently freed one, spreading programming cycles across
 	// cells (endurance; only meaningful with RecycleRows).
 	WearLeveling bool
+
+	// IssueWindow bounds how many ready ops the mappers pull from the
+	// event-driven ready queue per wave (see dfg.ReadyWalker): an op's
+	// consumers become eligible no earlier than the wave after its own,
+	// so dependence order holds for any window. Zero selects the default
+	// of 64; 1 degenerates to pure priority order.
+	IssueWindow int
+
+	// LegacyLevelScheduler selects the pre-PR-6 scheduling pipeline: ops
+	// consumed in the fully pre-sorted priority order (b-level desc, ID
+	// asc) and instructions merged under strict ASAP level barriers. Kept
+	// as an ablation knob and as the reference side of the differential
+	// scheduler tests.
+	LegacyLevelScheduler bool
 }
 
 func (o Options) withDefaults() Options {
@@ -51,7 +66,37 @@ func (o Options) withDefaults() Options {
 	if o.Beta == 0 {
 		o.Beta = 0.25
 	}
+	if o.IssueWindow == 0 {
+		o.IssueWindow = 64
+	}
 	return o
+}
+
+// forEachOp drives a mapper loop over the graph's ops in scheduling order:
+// event-driven ready dispatch in bounded issue windows by default, or the
+// legacy pre-sorted priority order under Options.LegacyLevelScheduler.
+func forEachOp(g *dfg.Graph, opt Options, fn func(op dfg.NodeID) error) error {
+	if opt.LegacyLevelScheduler {
+		for _, op := range g.OpsByPrioritySorted() {
+			if err := fn(op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	w := g.NewReadyWalker()
+	defer w.Close()
+	for {
+		batch := w.Next(opt.IssueWindow)
+		if batch == nil {
+			return nil
+		}
+		for _, op := range batch {
+			if err := fn(op); err != nil {
+				return err
+			}
+		}
+	}
 }
 
 // Stats summarizes what a mapping run did.
@@ -129,8 +174,32 @@ type emitter struct {
 	consumersLeft []int32
 }
 
+// progPool recycles instruction buffers between mapper calls. The
+// optimized mapper discards its pre-merge program once MergeInstructions
+// has rebuilt it, so the multi-megabyte backing can be reused instead of
+// re-allocated (and re-zeroed) on every compile.
+var progPool = sync.Pool{New: func() any { return new(isa.Program) }}
+
+// releaseProg returns a dead program buffer to the pool. Callers must not
+// retain any slice aliasing its backing array.
+func releaseProg(p isa.Program) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	progPool.Put(&p)
+}
+
 func newEmitter(g *dfg.Graph, t layout.Target, recycle, wearLevel bool) *emitter {
 	e := &emitter{g: g, lay: layout.New(t)}
+	// Roughly four instructions per op (read, align, write) plus copies;
+	// one up-front allocation in the right ballpark beats letting append
+	// double a multi-megabyte program several times over.
+	want := 5*g.NumOps() + 64
+	e.prog = (*progPool.Get().(*isa.Program))[:0]
+	if cap(e.prog) < want {
+		e.prog = make(isa.Program, 0, want)
+	}
 	e.lay.WearLeveling = wearLevel
 	if recycle {
 		e.consumersLeft = make([]int32, g.NumNodes())

@@ -8,10 +8,11 @@ import (
 )
 
 // Naive implements Algorithm 1: op nodes are visited in b-level priority
-// order and their not-yet-mapped operands are packed column-major into the
-// array, spilling into the next column when one fills up. No clustering and
-// no instruction merging is performed, so operands shared across columns
-// cause copies (data duplication) exactly as the paper describes.
+// order (event-driven ready dispatch, see dfg.ReadyWalker) and their
+// not-yet-mapped operands are packed column-major into the array, spilling
+// into the next column when one fills up. No clustering and no instruction
+// merging is performed, so operands shared across columns cause copies
+// (data duplication) exactly as the paper describes.
 func Naive(g *dfg.Graph, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := validateInput(g, opt.Target); err != nil {
@@ -20,12 +21,15 @@ func Naive(g *dfg.Graph, opt Options) (*Result, error) {
 	e := newEmitter(g, opt.Target, opt.RecycleRows, opt.WearLeveling)
 	cursor := &columnSeq{t: opt.Target}
 
-	nq := g.OpsByPriority()
-	for _, op := range nq {
+	err := forEachOp(g, opt, func(op dfg.NodeID) error {
 		if err := naiveMapOp(e, op, cursor); err != nil {
-			return nil, fmt.Errorf("mapping: naive, op %q: %w", g.Name(op), err)
+			return fmt.Errorf("mapping: naive, op %q: %w", g.Name(op), err)
 		}
 		e.retireInputs(op)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{Program: e.prog, Layout: e.lay, Graph: g}
 	res.Stats = Stats{

@@ -42,41 +42,50 @@ func Optimized(g *dfg.Graph, opt Options) (*Result, error) {
 		}
 	}
 
-	// Generate code in global priority order so that structurally parallel
-	// clusters advance their row allocators in lockstep — the precondition
-	// for cross-cluster instruction merging.
+	// Generate code in priority order — issue windows over the ready
+	// queue — so that structurally parallel clusters advance their row
+	// allocators in lockstep: the precondition for cross-cluster
+	// instruction merging.
 	e := newEmitter(g, t, opt.RecycleRows, opt.WearLeveling)
-	for _, op := range g.OpsByPriority() {
+	err = forEachOp(g, opt, func(op dfg.NodeID) error {
 		col := colOf[op]
 		e.insBuf = g.AppendOpInputs(op, e.insBuf[:0])
 		ins := e.insBuf
 		if g.OpType(op).IsUnary() {
 			p, err := e.inputPlace(ins[0], col)
 			if err != nil {
-				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+				return fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 			}
 			e.placesBuf = append(e.placesBuf[:0], p)
 			if err := e.emitOp(op, col, e.placesBuf); err != nil {
-				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+				return fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 			}
 			e.retireInputs(op)
-			continue
+			return nil
 		}
 		e.placesBuf = e.placesBuf[:0]
 		for _, in := range ins {
 			p, err := e.ensureInColumn(in, col)
 			if err != nil {
-				return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+				return fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 			}
 			e.placesBuf = append(e.placesBuf, p)
 		}
 		if err := e.emitOp(op, col, e.placesBuf); err != nil {
-			return nil, fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
+			return fmt.Errorf("mapping: optimized, op %q: %w", g.Name(op), err)
 		}
 		e.retireInputs(op)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	merged, eliminated := MergeInstructions(e.prog)
+	merged, eliminated := mergeProgram(e.prog, opt)
+	if len(e.prog) > 0 { // merged never aliases a non-empty input
+		releaseProg(e.prog)
+		e.prog = nil
+	}
 	res := &Result{Program: merged, Layout: e.lay, Graph: g}
 	res.Stats = Stats{
 		Copies:       e.copies,

@@ -9,48 +9,192 @@ import (
 
 	"sherlock/internal/isa"
 	"sherlock/internal/logic"
+	"sherlock/internal/readyq"
 )
 
 // MergeInstructions implements the instruction-merging optimization of
 // Sec. 3.3.3: instructions in different columns that activate the same rows
 // fuse into one instruction carrying a per-column operation list.
 //
-// A dependence DAG over the instruction stream (cells and per-column row
-// buffer bits as resources; shifts touch their whole array's buffer) is
-// level-scheduled ASAP; instructions within one level are mutually
-// independent by construction, so compatible ones merge:
+// Scheduling is hazard-gated ready dispatch, not a strict level barrier.
+// Two passes over the dependence structure (cells and per-column row-buffer
+// bits as resources; shifts touch their whole array's buffer) bound each
+// instruction's dispatch window:
+//
+//   - a forward pass assigns the earliest level at which its last RAW/WAW/
+//     WAR hazard has retired (its ready time), and
+//   - a backward pass assigns the minimum ready time over its hazard
+//     successors (its deadline).
+//
+// An instruction may issue at any time in [ready, deadline); within that
+// slack it can fuse with a compatible group that became ready earlier:
 //
 //   - scouting reads with identical array and row set,
 //   - plain reads with identical array and row,
 //   - writes with identical array, row, and data source,
-//   - row-buffer NOTs on the same array.
+//   - row-buffer NOTs on the same array,
+//
+// provided the group's columns stay disjoint. Instructions whose slack does
+// not reach an existing group open a new one at their own ready time, so
+// every strict-level merge of the legacy scheduler still happens and
+// cross-level fusion only ever removes further instructions — the merged
+// program never exceeds the legacy count. Merged groups are dispatched
+// through a bitmap ready queue (internal/readyq) keyed by issue time; group
+// order within one time reproduces the lexicographic order of the
+// historical string keys.
 //
 // It returns the merged program and the number of instructions eliminated.
 //
 // The pass runs on dense data structures throughout: hazard state lives in
-// flat arrays indexed by interned resource IDs (see isa.Space), merge
-// signatures are comparable structs bucketed by hash, and all per-level
-// scratch is pooled — one call allocates only the output program. Bucket
-// order within a level reproduces the lexicographic order of the
-// historical fmt.Sprintf keys bit-for-bit, so emitted programs are
-// byte-identical to the string-keyed implementation.
+// flat arrays indexed by interned resource IDs (see isa.Space) with
+// per-array shift summaries making whole-buffer shifts O(1) instead of
+// O(columns), merge signatures are comparable structs bucketed by hash, and
+// all scratch is pooled — one call allocates only the output program.
 func MergeInstructions(p isa.Program) (isa.Program, int) {
 	if len(p) == 0 {
 		return p, 0
 	}
-	levels := scheduleLevels(p)
+	space := p.ResourceSpace()
 
 	ms := mergePool.Get().(*mergeScratch)
 	defer mergePool.Put(ms)
+	ms.levels = grow(ms.levels, len(p))
+	ms.slack = grow(ms.slack, len(p))
 
-	// Group instruction indices by level with one counting sort.
-	maxLevel := 0
-	for _, l := range levels {
-		if l > maxLevel {
-			maxLevel = l
+	h := hazardPool.Get().(*hazardScratch)
+	h.begin(space.Size(), space.Arrays)
+	maxLevel := forwardLevels(p, space, h, ms.levels)
+	h.begin(space.Size(), space.Arrays)
+	backwardSlack(p, space, h, ms.levels, ms.slack)
+	hazardPool.Put(h)
+
+	ms.beginGroups(len(p), space)
+	for i := range p {
+		in := &p[i]
+		if in.Kind == isa.KindShift {
+			// Shifts never merge: a private group, bypassing the lookup.
+			sid := int32(len(ms.sigs))
+			ms.sigs = append(ms.sigs, mergeSig{kind: isa.KindShift, shiftIdx: int32(i)})
+			ms.newGroup(sid, nil, int32(i), ms.levels[i], noGroupKey)
+			continue
+		}
+		sig := makeSig(in, i)
+		// Intern the signature once (one wide-key map op per instruction),
+		// then probe issue times from the instruction's own ready level
+		// upward with cheap word-keyed lookups: at most one group exists
+		// per (signature, time) — same-class instructions are mutually
+		// column-disjoint and a delayed joiner whose columns a class member
+		// needs is always cut off by its own deadline first. The probe
+		// window bounds how far an instruction chases a fusion partner
+		// into its slack; beyond it a new group opens at its own level.
+		sid, ok := ms.sigID[sig]
+		if !ok {
+			sid = int32(len(ms.sigs))
+			ms.sigs = append(ms.sigs, sig)
+			ms.sigID[sig] = sid
+		}
+		base := uint64(sid) << 32
+		L := ms.levels[i]
+		maxT := ms.slack[i] - 1
+		if maxT > L+mergeProbeWindow {
+			maxT = L + mergeProbeWindow
+		}
+		gid := int32(-1)
+		for t := L; t <= maxT; t++ {
+			id, ok := ms.groupAt[base|uint64(uint32(t))]
+			if !ok {
+				continue
+			}
+			g := &ms.groups[id]
+			if in.Kind == isa.KindRead && !slices.Equal(in.Rows, g.rows) {
+				continue // FNV collision: same hash, different row set
+			}
+			if ms.colConflict(id, in, space) {
+				continue // fail safe; see the birth argument above
+			}
+			gid = id
+			break
+		}
+		if gid < 0 {
+			gid = ms.newGroup(sid, in.Rows, int32(i), L, base|uint64(uint32(L)))
+		} else {
+			g := &ms.groups[gid]
+			ms.memberNext[g.tail] = int32(i)
+			ms.memberNext[i] = -1
+			g.tail = int32(i)
+			g.count++
+		}
+		ms.stampCols(gid, in, space)
+	}
+
+	// Dispatch groups by issue time through the bitmap ready queue. Every
+	// group emits exactly one instruction (or its members verbatim through
+	// the fail safe, which never fires in practice), so the output size is
+	// known here.
+	out := make(isa.Program, 0, len(ms.groups))
+	q := readyq.Get(len(ms.groups), int(maxLevel)+1)
+	for id := range ms.groups {
+		q.Push(int32(id), ms.groups[id].time)
+	}
+	for q.Len() > 0 {
+		_, t, _ := q.Min()
+		ms.order = ms.order[:0]
+		for {
+			id, pt, ok := q.Min()
+			if !ok || pt != t {
+				break
+			}
+			q.PopMin()
+			ms.order = append(ms.order, id)
+		}
+		slices.SortFunc(ms.order, func(a, b int32) int {
+			ga, gb := &ms.groups[a], &ms.groups[b]
+			return cmpSigRows(&ms.sigs[ga.sig], ga.rows, &ms.sigs[gb.sig], gb.rows)
+		})
+		for _, gid := range ms.order {
+			g := &ms.groups[gid]
+			ms.members = ms.members[:0]
+			for m := g.head; m >= 0; m = ms.memberNext[m] {
+				ms.members = append(ms.members, m)
+			}
+			out = ms.appendMerged(out, p, ms.members)
 		}
 	}
-	ms.levelStart = grow(ms.levelStart, maxLevel+2)
+	readyq.Put(q)
+	return out, len(p) - len(out)
+}
+
+// mergeProgram dispatches to the ready-dispatch merger or, under the
+// LegacyLevelScheduler ablation knob, the strict level-barrier merger.
+func mergeProgram(p isa.Program, opt Options) (isa.Program, int) {
+	if opt.LegacyLevelScheduler {
+		return mergeInstructionsLegacy(p)
+	}
+	return MergeInstructions(p)
+}
+
+// mergeInstructionsLegacy is the pre-PR-6 merger: instructions are grouped
+// under strict ASAP level barriers, so only instructions of exactly the
+// same dependence level can fuse. Retained as the reference side of the
+// differential scheduler tests and the scheduling ablation.
+func mergeInstructionsLegacy(p isa.Program) (isa.Program, int) {
+	if len(p) == 0 {
+		return p, 0
+	}
+	space := p.ResourceSpace()
+
+	ms := mergePool.Get().(*mergeScratch)
+	defer mergePool.Put(ms)
+	ms.levels = grow(ms.levels, len(p))
+
+	h := hazardPool.Get().(*hazardScratch)
+	h.begin(space.Size(), space.Arrays)
+	maxLevel := forwardLevels(p, space, h, ms.levels)
+	hazardPool.Put(h)
+	levels := ms.levels
+
+	// Group instruction indices by level with one counting sort.
+	ms.levelStart = grow(ms.levelStart, int(maxLevel)+2)
 	for i := range ms.levelStart {
 		ms.levelStart[i] = 0
 	}
@@ -61,7 +205,7 @@ func MergeInstructions(p isa.Program) (isa.Program, int) {
 		ms.levelStart[l] += ms.levelStart[l-1]
 	}
 	ms.byLevel = grow(ms.byLevel, len(p))
-	ms.cursor = grow(ms.cursor, maxLevel+1)
+	ms.cursor = grow(ms.cursor, int(maxLevel)+1)
 	copy(ms.cursor, ms.levelStart[:maxLevel+1])
 	for i, l := range levels {
 		ms.byLevel[ms.cursor[l]] = int32(i)
@@ -69,7 +213,7 @@ func MergeInstructions(p isa.Program) (isa.Program, int) {
 	}
 
 	out := make(isa.Program, 0, len(p))
-	for l := 0; l <= maxLevel; l++ {
+	for l := int32(0); l <= maxLevel; l++ {
 		idxs := ms.byLevel[ms.levelStart[l]:ms.levelStart[l+1]]
 		out = ms.mergeLevel(out, p, idxs)
 	}
@@ -77,10 +221,10 @@ func MergeInstructions(p isa.Program) (isa.Program, int) {
 }
 
 // mergeSig is the comparable bucket key replacing the historical
-// "R/%d/%s"-style strings. Reads discriminate on the hashed row set (with
-// a salt that splits the astronomically unlikely hash collision), writes
-// on destination row and data source, shifts on their own index so they
-// never merge.
+// "R/%d/%s"-style strings. Reads discriminate on the hashed row set (the
+// astronomically unlikely hash collision is split by comparing the actual
+// row lists within a chain), writes on destination row and data source,
+// shifts on their own index so they never merge.
 type mergeSig struct {
 	kind     isa.Kind
 	array    int32
@@ -88,7 +232,7 @@ type mergeSig struct {
 	src      int32  // writes: srcBuf, srcHost, or the source array id
 	rowsLen  int32  // reads: number of activated rows
 	rowsHash uint64 // reads: FNV-1a over the row list
-	salt     int32  // reads: bumped on hash collision with different rows
+	salt     int32  // reads: bumped on hash collision (legacy path only)
 	shiftIdx int32  // shifts: instruction index (unique bucket)
 }
 
@@ -180,7 +324,41 @@ func srcRank(src int32) int {
 	}
 }
 
-// bucketInfo is one merge bucket of a level: its signature, the
+// cmpSigRows reproduces sort.Strings over the historical key strings.
+func cmpSigRows(a *mergeSig, arows []int, b *mergeSig, brows []int) int {
+	ra, rb := kindRank(a.kind), kindRank(b.kind)
+	if ra != rb {
+		return int(ra) - int(rb)
+	}
+	switch a.kind {
+	case isa.KindNot:
+		return cmpIntLex(a.array, b.array)
+	case isa.KindRead:
+		if c := cmpIntLex(a.array, b.array); c != 0 {
+			return c
+		}
+		return cmpRowsLex(arows, brows)
+	case isa.KindShift:
+		// Historical key was "S/%06d": zero-padded, so numeric order.
+		return int(a.shiftIdx) - int(b.shiftIdx)
+	default: // KindWrite
+		if c := cmpIntLex(a.array, b.array); c != 0 {
+			return c
+		}
+		if c := cmpIntLex(a.row, b.row); c != 0 {
+			return c
+		}
+		if c := srcRank(a.src) - srcRank(b.src); c != 0 {
+			return c
+		}
+		if srcRank(a.src) == 2 {
+			return cmpIntLex(a.src, b.src)
+		}
+		return 0
+	}
+}
+
+// bucketInfo is one merge bucket of a legacy level: its signature, the
 // representative row list (reads), and its member range in the scratch
 // member array.
 type bucketInfo struct {
@@ -191,38 +369,31 @@ type bucketInfo struct {
 	fill  int32
 }
 
-// cmpBuckets reproduces sort.Strings over the historical key strings.
+// cmpBuckets orders a legacy level's buckets like the historical keys.
 func cmpBuckets(a, b *bucketInfo) int {
-	ra, rb := kindRank(a.sig.kind), kindRank(b.sig.kind)
-	if ra != rb {
-		return int(ra) - int(rb)
-	}
-	switch a.sig.kind {
-	case isa.KindNot:
-		return cmpIntLex(a.sig.array, b.sig.array)
-	case isa.KindRead:
-		if c := cmpIntLex(a.sig.array, b.sig.array); c != 0 {
-			return c
-		}
-		return cmpRowsLex(a.rows, b.rows)
-	case isa.KindShift:
-		// Historical key was "S/%06d": zero-padded, so numeric order.
-		return int(a.sig.shiftIdx) - int(b.sig.shiftIdx)
-	default: // KindWrite
-		if c := cmpIntLex(a.sig.array, b.sig.array); c != 0 {
-			return c
-		}
-		if c := cmpIntLex(a.sig.row, b.sig.row); c != 0 {
-			return c
-		}
-		if c := srcRank(a.sig.src) - srcRank(b.sig.src); c != 0 {
-			return c
-		}
-		if srcRank(a.sig.src) == 2 {
-			return cmpIntLex(a.sig.src, b.sig.src)
-		}
-		return 0
-	}
+	return cmpSigRows(&a.sig, a.rows, &b.sig, b.rows)
+}
+
+// mergeProbeWindow is how many issue times beyond its own ready level an
+// instruction probes for a fusion partner before opening its own group.
+// Probes are further capped by the instruction's deadline, so the window
+// only matters for instructions with long slack.
+const mergeProbeWindow = 32
+
+// noGroupKey marks a group that is never registered in the dispatch index
+// (shifts). Unreachable as a real key: interned signature ids and issue
+// times are both non-negative.
+const noGroupKey = ^uint64(0)
+
+// mergeGroup is one fusion group of the ready-dispatch merger: its
+// signature, representative rows, issue time, and members as a linked list
+// through mergeScratch.memberNext (program order).
+type mergeGroup struct {
+	sig        int32 // index into mergeScratch.sigs
+	rows       []int
+	time       int32
+	head, tail int32
+	count      int32
 }
 
 // colEntry carries one column of a merging instruction with its scouting
@@ -233,22 +404,40 @@ type colEntry struct {
 	binding string
 }
 
-// mergeScratch is the pooled per-call state of MergeInstructions.
+// mergeScratch is the pooled per-call state of the mergers.
 type mergeScratch struct {
+	// Shared.
+	lookup  map[mergeSig]int32
+	order   []int32
+	members []int32
+	cols    []colEntry
+	levels  []int32
+
+	// Legacy level-barrier state.
 	levelStart []int32
 	cursor     []int32
 	byLevel    []int32
+	buckets    []bucketInfo
+	bucketOf   []int32
 
-	lookup   map[mergeSig]int32
-	buckets  []bucketInfo
-	order    []int32
-	bucketOf []int32
-	members  []int32
-	cols     []colEntry
+	// Ready-dispatch state.
+	slack      []int32
+	groups     []mergeGroup
+	sigs       []mergeSig         // interned signature table
+	sigID      map[mergeSig]int32 // signature → index into sigs
+	groupAt    map[uint64]int32   // sigID<<32|time → group id
+	memberNext []int32
+	colGroup   []int32 // per (array,col): group that last claimed the column
+	colGen     []int32 // generation stamp validating colGroup entries
+	colEpoch   int32
 }
 
 var mergePool = sync.Pool{New: func() any {
-	return &mergeScratch{lookup: make(map[mergeSig]int32)}
+	return &mergeScratch{
+		lookup:  make(map[mergeSig]int32),
+		sigID:   make(map[mergeSig]int32),
+		groupAt: make(map[uint64]int32),
+	}
 }}
 
 func grow(s []int32, n int) []int32 {
@@ -258,8 +447,75 @@ func grow(s []int32, n int) []int32 {
 	return s[:n]
 }
 
-// mergeLevel buckets one level's instructions, orders the buckets like the
-// historical string keys, and appends the merged instructions to out.
+// beginGroups resets the grouping state for one program. Groups are
+// pre-sized to the instruction count (their hard upper bound) so append
+// never redoubles a multi-megabyte backing mid-pass.
+func (ms *mergeScratch) beginGroups(n int, space isa.Space) {
+	ms.sigs = ms.sigs[:0]
+	clear(ms.sigID)
+	clear(ms.groupAt)
+	if cap(ms.groups) < n {
+		ms.groups = make([]mergeGroup, 0, n)
+	}
+	ms.groups = ms.groups[:0]
+	ms.memberNext = grow(ms.memberNext, n)
+	cols := space.Arrays * space.BufCols
+	if cap(ms.colGroup) < cols {
+		ms.colGroup = make([]int32, cols)
+		ms.colGen = make([]int32, cols)
+		ms.colEpoch = 0
+	}
+	ms.colGroup = ms.colGroup[:cols]
+	ms.colGen = ms.colGen[:cols]
+	if ms.colEpoch == math.MaxInt32 {
+		for i := range ms.colGen {
+			ms.colGen[i] = 0
+		}
+		ms.colEpoch = 0
+	}
+	ms.colEpoch++
+}
+
+// newGroup opens a fusion group with one member and returns its id.
+// Registering overwrites any same-key entry — only reachable through the
+// column-conflict fail safe, in which case the stale group simply stops
+// accepting members.
+func (ms *mergeScratch) newGroup(sid int32, rows []int, member, time int32, key uint64) int32 {
+	id := int32(len(ms.groups))
+	ms.groups = append(ms.groups, mergeGroup{sig: sid, rows: rows, time: time, head: member, tail: member, count: 1})
+	if key != noGroupKey {
+		ms.groupAt[key] = id
+	}
+	ms.memberNext[member] = -1
+	return id
+}
+
+// colConflict reports whether the instruction shares a column with a group
+// member. Column claims are generation-stamped per (array, column), so the
+// check is O(columns of the instruction) with no clearing between calls.
+func (ms *mergeScratch) colConflict(gid int32, in *isa.Instruction, space isa.Space) bool {
+	base := in.Array * space.BufCols
+	for _, c := range in.Cols {
+		k := base + c
+		if ms.colGen[k] == ms.colEpoch && ms.colGroup[k] == gid {
+			return true
+		}
+	}
+	return false
+}
+
+func (ms *mergeScratch) stampCols(gid int32, in *isa.Instruction, space isa.Space) {
+	base := in.Array * space.BufCols
+	for _, c := range in.Cols {
+		k := base + c
+		ms.colGen[k] = ms.colEpoch
+		ms.colGroup[k] = gid
+	}
+}
+
+// mergeLevel buckets one legacy level's instructions, orders the buckets
+// like the historical string keys, and appends the merged instructions to
+// out.
 func (ms *mergeScratch) mergeLevel(out isa.Program, p isa.Program, idxs []int32) isa.Program {
 	clear(ms.lookup)
 	ms.buckets = ms.buckets[:0]
@@ -319,9 +575,10 @@ func (ms *mergeScratch) mergeLevel(out isa.Program, p isa.Program, idxs []int32)
 	return out
 }
 
-// appendMerged fuses one bucket of same-signature instructions onto out.
-// Columns within a level are disjoint by dependence construction; a shared
-// column would be a scheduler bug, in which case the bucket passes through
+// appendMerged fuses one group of same-signature instructions onto out.
+// Group columns are disjoint by construction (the ready-dispatch merger
+// checks at join time, the legacy merger by level independence); a shared
+// column would be a scheduler bug, in which case the group passes through
 // unmerged (fail safe).
 func (ms *mergeScratch) appendMerged(out isa.Program, p isa.Program, idxs []int32) isa.Program {
 	if len(idxs) == 1 {
@@ -381,10 +638,19 @@ func (ms *mergeScratch) appendMerged(out isa.Program, p isa.Program, idxs []int3
 	return append(out, merged)
 }
 
-// hazardScratch is the pooled, epoch-stamped flat hazard state of
-// scheduleLevels. An entry is live only when its generation stamp matches
-// the current pass, so reusing the arrays across programs costs no
-// clearing.
+// hazardScratch is the pooled, epoch-stamped flat hazard state of the
+// scheduling passes. An entry is live only when its generation stamp
+// matches the current pass, so reusing the arrays across programs — and
+// across the forward and backward pass of one call — costs no clearing.
+//
+// The per-resource arrays are direction-agnostic: the forward pass stores
+// the latest past writer/reader level per resource, the backward pass the
+// earliest future one. The per-array summaries (shiftLvl, aggW, aggR) are
+// what make whole-buffer shifts O(1): a shift consults and updates three
+// array-wide entries instead of touching every column's buffer bit, and
+// bit-level accesses consult their array's shift entry alongside their own
+// bit. Bit entries staler than the last shift are dominated by it in every
+// max (forward) or min (backward), so they never need clearing.
 type hazardScratch struct {
 	gen         int32
 	writerGen   []int32
@@ -392,12 +658,18 @@ type hazardScratch struct {
 	writerLevel []int32
 	readerLevel []int32
 
-	reads, writes []int32
+	// Per-array summaries, indexed by array id.
+	shiftGen []int32
+	shiftLvl []int32 // forward: last shift's level; backward: next shift's
+	aggWGen  []int32
+	aggW     []int32 // forward: max live buffer-bit writer level; backward: min
+	aggRGen  []int32
+	aggR     []int32 // forward: max live buffer-bit reader level; backward: min
 }
 
 var hazardPool = sync.Pool{New: func() any { return new(hazardScratch) }}
 
-func (h *hazardScratch) begin(size int) {
+func (h *hazardScratch) begin(size, arrays int) {
 	if cap(h.writerGen) < size {
 		h.writerGen = make([]int32, size)
 		h.readerGen = make([]int32, size)
@@ -409,54 +681,301 @@ func (h *hazardScratch) begin(size int) {
 	h.readerGen = h.readerGen[:size]
 	h.writerLevel = h.writerLevel[:size]
 	h.readerLevel = h.readerLevel[:size]
+	if cap(h.shiftGen) < arrays {
+		h.shiftGen = make([]int32, arrays)
+		h.shiftLvl = make([]int32, arrays)
+		h.aggWGen = make([]int32, arrays)
+		h.aggW = make([]int32, arrays)
+		h.aggRGen = make([]int32, arrays)
+		h.aggR = make([]int32, arrays)
+	}
+	h.shiftGen = h.shiftGen[:arrays]
+	h.shiftLvl = h.shiftLvl[:arrays]
+	h.aggWGen = h.aggWGen[:arrays]
+	h.aggW = h.aggW[:arrays]
+	h.aggRGen = h.aggRGen[:arrays]
+	h.aggR = h.aggR[:arrays]
 	if h.gen == math.MaxInt32 {
 		for i := range h.writerGen {
 			h.writerGen[i] = 0
 			h.readerGen[i] = 0
+		}
+		for i := range h.shiftGen {
+			h.shiftGen[i] = 0
+			h.aggWGen[i] = 0
+			h.aggRGen[i] = 0
 		}
 		h.gen = 0
 	}
 	h.gen++
 }
 
-// scheduleLevels assigns each instruction its ASAP dependence level.
-// Resources are interned into dense IDs (isa.Space) and the last-writer /
-// latest-reader tables are flat arrays, so one pass over the program does
-// zero per-instruction allocation.
-func scheduleLevels(p isa.Program) []int {
-	space := p.ResourceSpace()
-	h := hazardPool.Get().(*hazardScratch)
-	defer hazardPool.Put(h)
-	h.begin(space.Size())
-
-	levels := make([]int, len(p))
+// forwardLevels assigns each instruction its ASAP dependence level — the
+// earliest level at which every RAW/WAW/WAR hazard against earlier
+// instructions has retired — and returns the maximum level. Shifts are
+// O(1): instead of walking every buffer bit of their array they consult the
+// array's aggregate writer/reader levels and record themselves in the
+// array's shift entry, which bit-level accesses consult in turn. The levels
+// are exactly those of the historical per-bit walk.
+func forwardLevels(p isa.Program, s isa.Space, h *hazardScratch, levels []int32) int32 {
+	cellBase := int32(s.Arrays * s.BufCols)
+	maxLevel := int32(0)
 	for i := range p {
 		in := &p[i]
-		h.reads, h.writes = in.AppendAccessIDs(space, h.reads[:0], h.writes[:0])
 		lvl := int32(0)
-		for _, r := range h.reads {
-			if h.writerGen[r] == h.gen && h.writerLevel[r]+1 > lvl {
-				lvl = h.writerLevel[r] + 1 // RAW
+		switch in.Kind {
+		case isa.KindRead:
+			a := in.Array
+			for _, c := range in.Cols {
+				rowBase := cellBase + int32((a*s.BufCols+c)*s.Rows)
+				for _, r := range in.Rows {
+					id := rowBase + int32(r)
+					if h.writerGen[id] == h.gen && h.writerLevel[id] >= lvl {
+						lvl = h.writerLevel[id] + 1 // RAW on the cell
+					}
+				}
+				b := s.BufID(a, c)
+				if h.writerGen[b] == h.gen && h.writerLevel[b] >= lvl {
+					lvl = h.writerLevel[b] + 1 // WAW on the buffer bit
+				}
+				if h.readerGen[b] == h.gen && h.readerLevel[b] >= lvl {
+					lvl = h.readerLevel[b] + 1 // WAR on the buffer bit
+				}
 			}
+			if h.shiftGen[a] == h.gen && h.shiftLvl[a] >= lvl {
+				lvl = h.shiftLvl[a] + 1 // the last shift wrote every bit
+			}
+			for _, c := range in.Cols {
+				rowBase := cellBase + int32((a*s.BufCols+c)*s.Rows)
+				for _, r := range in.Rows {
+					id := rowBase + int32(r)
+					if h.readerGen[id] != h.gen || h.readerLevel[id] < lvl {
+						h.readerGen[id], h.readerLevel[id] = h.gen, lvl
+					}
+				}
+				b := s.BufID(a, c)
+				h.writerGen[b], h.writerLevel[b] = h.gen, lvl
+				h.readerGen[b] = 0 // a write retires all readers since the last write
+			}
+			if h.aggWGen[a] != h.gen || h.aggW[a] < lvl {
+				h.aggWGen[a], h.aggW[a] = h.gen, lvl
+			}
+		case isa.KindWrite:
+			src := in.Array
+			if in.HasSrcArray {
+				src = in.SrcArray
+			}
+			host := in.IsHostWrite()
+			row := int32(in.Rows[0])
+			for _, c := range in.Cols {
+				if !host {
+					b := s.BufID(src, c)
+					if h.writerGen[b] == h.gen && h.writerLevel[b] >= lvl {
+						lvl = h.writerLevel[b] + 1 // RAW on the buffer bit
+					}
+				}
+				id := cellBase + int32((in.Array*s.BufCols+c)*s.Rows) + row
+				if h.writerGen[id] == h.gen && h.writerLevel[id] >= lvl {
+					lvl = h.writerLevel[id] + 1 // WAW on the cell
+				}
+				if h.readerGen[id] == h.gen && h.readerLevel[id] >= lvl {
+					lvl = h.readerLevel[id] + 1 // WAR on the cell
+				}
+			}
+			if !host && h.shiftGen[src] == h.gen && h.shiftLvl[src] >= lvl {
+				lvl = h.shiftLvl[src] + 1
+			}
+			for _, c := range in.Cols {
+				if !host {
+					b := s.BufID(src, c)
+					if h.readerGen[b] != h.gen || h.readerLevel[b] < lvl {
+						h.readerGen[b], h.readerLevel[b] = h.gen, lvl
+					}
+				}
+				id := cellBase + int32((in.Array*s.BufCols+c)*s.Rows) + row
+				h.writerGen[id], h.writerLevel[id] = h.gen, lvl
+				h.readerGen[id] = 0
+			}
+			if !host {
+				if h.aggRGen[src] != h.gen || h.aggR[src] < lvl {
+					h.aggRGen[src], h.aggR[src] = h.gen, lvl
+				}
+			}
+		case isa.KindNot:
+			a := in.Array
+			for _, c := range in.Cols {
+				b := s.BufID(a, c)
+				if h.writerGen[b] == h.gen && h.writerLevel[b] >= lvl {
+					lvl = h.writerLevel[b] + 1
+				}
+				if h.readerGen[b] == h.gen && h.readerLevel[b] >= lvl {
+					lvl = h.readerLevel[b] + 1
+				}
+			}
+			if h.shiftGen[a] == h.gen && h.shiftLvl[a] >= lvl {
+				lvl = h.shiftLvl[a] + 1
+			}
+			// The write retires the instruction's own read, so only the
+			// writer side is committed — exactly as the per-bit walk did.
+			for _, c := range in.Cols {
+				b := s.BufID(a, c)
+				h.writerGen[b], h.writerLevel[b] = h.gen, lvl
+				h.readerGen[b] = 0
+			}
+			if h.aggWGen[a] != h.gen || h.aggW[a] < lvl {
+				h.aggWGen[a], h.aggW[a] = h.gen, lvl
+			}
+		case isa.KindShift:
+			a := in.Array
+			if h.aggWGen[a] == h.gen && h.aggW[a] >= lvl {
+				lvl = h.aggW[a] + 1 // RAW/WAW vs every live bit writer
+			}
+			if h.aggRGen[a] == h.gen && h.aggR[a] >= lvl {
+				lvl = h.aggR[a] + 1 // WAR vs every live bit reader
+			}
+			if h.shiftGen[a] == h.gen && h.shiftLvl[a] >= lvl {
+				lvl = h.shiftLvl[a] + 1
+			}
+			h.shiftGen[a], h.shiftLvl[a] = h.gen, lvl
 		}
-		for _, r := range h.writes {
-			if h.writerGen[r] == h.gen && h.writerLevel[r]+1 > lvl {
-				lvl = h.writerLevel[r] + 1 // WAW
-			}
-			if h.readerGen[r] == h.gen && h.readerLevel[r]+1 > lvl {
-				lvl = h.readerLevel[r] + 1 // WAR
-			}
-		}
-		levels[i] = int(lvl)
-		for _, r := range h.reads {
-			if h.readerGen[r] != h.gen || h.readerLevel[r] < lvl {
-				h.readerGen[r], h.readerLevel[r] = h.gen, lvl
-			}
-		}
-		for _, r := range h.writes {
-			h.writerGen[r], h.writerLevel[r] = h.gen, lvl
-			h.readerGen[r] = 0 // a write retires all readers since the last write
+		levels[i] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
 		}
 	}
-	return levels
+	return maxLevel
+}
+
+// backwardSlack assigns each instruction its deadline: the minimum forward
+// level over its hazard successors, math.MaxInt32 when it has none. An
+// instruction may be delayed to any time strictly below its deadline
+// without reordering against a successor. The pass mirrors forwardLevels in
+// reverse — writerLevel holds the next writer's level, readerLevel the
+// minimum future reader level before that writer, and the per-array
+// summaries make shifts O(1). Entries beyond an intervening writer or shift
+// are dominated in the min by the hazard chain through it, so they are
+// never cleared.
+func backwardSlack(p isa.Program, s isa.Space, h *hazardScratch, levels, slack []int32) {
+	cellBase := int32(s.Arrays * s.BufCols)
+	for i := len(p) - 1; i >= 0; i-- {
+		in := &p[i]
+		l := levels[i]
+		dl := int32(math.MaxInt32)
+		switch in.Kind {
+		case isa.KindRead:
+			a := in.Array
+			for _, c := range in.Cols {
+				rowBase := cellBase + int32((a*s.BufCols+c)*s.Rows)
+				for _, r := range in.Rows {
+					id := rowBase + int32(r)
+					if h.writerGen[id] == h.gen && h.writerLevel[id] < dl {
+						dl = h.writerLevel[id] // WAR: next cell writer
+					}
+				}
+				b := s.BufID(a, c)
+				if h.writerGen[b] == h.gen && h.writerLevel[b] < dl {
+					dl = h.writerLevel[b] // WAW: next bit writer
+				}
+				if h.readerGen[b] == h.gen && h.readerLevel[b] < dl {
+					dl = h.readerLevel[b] // RAW: future bit readers
+				}
+			}
+			if h.shiftGen[a] == h.gen && h.shiftLvl[a] < dl {
+				dl = h.shiftLvl[a]
+			}
+			for _, c := range in.Cols {
+				rowBase := cellBase + int32((a*s.BufCols+c)*s.Rows)
+				for _, r := range in.Rows {
+					id := rowBase + int32(r)
+					if h.readerGen[id] != h.gen || h.readerLevel[id] > l {
+						h.readerGen[id], h.readerLevel[id] = h.gen, l
+					}
+				}
+				b := s.BufID(a, c)
+				h.writerGen[b], h.writerLevel[b] = h.gen, l
+				h.readerGen[b] = 0 // readers beyond this writer are cut off
+			}
+			if h.aggWGen[a] != h.gen || h.aggW[a] > l {
+				h.aggWGen[a], h.aggW[a] = h.gen, l
+			}
+		case isa.KindWrite:
+			src := in.Array
+			if in.HasSrcArray {
+				src = in.SrcArray
+			}
+			host := in.IsHostWrite()
+			row := int32(in.Rows[0])
+			for _, c := range in.Cols {
+				if !host {
+					b := s.BufID(src, c)
+					if h.writerGen[b] == h.gen && h.writerLevel[b] < dl {
+						dl = h.writerLevel[b] // WAR: next bit writer
+					}
+				}
+				id := cellBase + int32((in.Array*s.BufCols+c)*s.Rows) + row
+				if h.writerGen[id] == h.gen && h.writerLevel[id] < dl {
+					dl = h.writerLevel[id] // WAW: next cell writer
+				}
+				if h.readerGen[id] == h.gen && h.readerLevel[id] < dl {
+					dl = h.readerLevel[id] // RAW: future cell readers
+				}
+			}
+			if !host && h.shiftGen[src] == h.gen && h.shiftLvl[src] < dl {
+				dl = h.shiftLvl[src]
+			}
+			for _, c := range in.Cols {
+				if !host {
+					b := s.BufID(src, c)
+					if h.readerGen[b] != h.gen || h.readerLevel[b] > l {
+						h.readerGen[b], h.readerLevel[b] = h.gen, l
+					}
+				}
+				id := cellBase + int32((in.Array*s.BufCols+c)*s.Rows) + row
+				h.writerGen[id], h.writerLevel[id] = h.gen, l
+				h.readerGen[id] = 0
+			}
+			if !host {
+				if h.aggRGen[src] != h.gen || h.aggR[src] > l {
+					h.aggRGen[src], h.aggR[src] = h.gen, l
+				}
+			}
+		case isa.KindNot:
+			a := in.Array
+			for _, c := range in.Cols {
+				b := s.BufID(a, c)
+				if h.writerGen[b] == h.gen && h.writerLevel[b] < dl {
+					dl = h.writerLevel[b]
+				}
+				if h.readerGen[b] == h.gen && h.readerLevel[b] < dl {
+					dl = h.readerLevel[b]
+				}
+			}
+			if h.shiftGen[a] == h.gen && h.shiftLvl[a] < dl {
+				dl = h.shiftLvl[a]
+			}
+			// As the nearest writer it also covers its own read for
+			// earlier writers (same level on the same bit).
+			for _, c := range in.Cols {
+				b := s.BufID(a, c)
+				h.writerGen[b], h.writerLevel[b] = h.gen, l
+				h.readerGen[b] = 0
+			}
+			if h.aggWGen[a] != h.gen || h.aggW[a] > l {
+				h.aggWGen[a], h.aggW[a] = h.gen, l
+			}
+		case isa.KindShift:
+			a := in.Array
+			if h.aggWGen[a] == h.gen && h.aggW[a] < dl {
+				dl = h.aggW[a] // earliest future bit writer
+			}
+			if h.aggRGen[a] == h.gen && h.aggR[a] < dl {
+				dl = h.aggR[a] // earliest future bit reader
+			}
+			if h.shiftGen[a] == h.gen && h.shiftLvl[a] < dl {
+				dl = h.shiftLvl[a]
+			}
+			h.shiftGen[a], h.shiftLvl[a] = h.gen, l
+		}
+		slack[i] = dl
+	}
 }

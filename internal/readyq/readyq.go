@@ -1,0 +1,227 @@
+// Package readyq implements the hierarchical bitmap priority queue behind
+// Sherlock's event-driven schedulers.
+//
+// A Queue holds dense int32 item IDs bucketed by a small non-negative
+// priority (b-levels on the DFG side, dispatch times on the instruction
+// side — both bounded by the DFG depth, so bucketing is dense and exact).
+// Occupancy is tracked by a two-tier summary bitmap: one bit per priority
+// in the bucket tier, one bit per bucket word in the summary tier. Bits
+// are stored most-significant-first (priority p of a word sits at bit
+// 63-(p&63)), so bits.LeadingZeros64 jumps straight to the minimum — the
+// CLZ find-min idiom. Find-min and extract-min are O(1) for up to 4096
+// priorities (one summary word); beyond that only the summary scan grows,
+// by one word per 4096 priorities.
+//
+// Items within one priority form an intrusive doubly-linked FIFO chain
+// (head/tail per bucket, next/prev per item), giving O(1) insert at the
+// tail, O(1) pop at the head, and O(1) removal from the middle. All state
+// lives in flat arrays indexed by item ID and priority; a drained queue is
+// clean by construction, so pooled reuse via Get/Put only pays for growth,
+// never for clearing.
+package readyq
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Queue is a bucket priority queue over int32 item IDs. The zero value is
+// unusable; construct with New or Get.
+type Queue struct {
+	// Bucket tier: bit 63-(p&63) of words[p>>6] is set iff bucket p is
+	// non-empty. Summary tier: bit 63-(w&63) of summary[w>>6] is set iff
+	// words[w] != 0.
+	words   []uint64
+	summary []uint64
+
+	head, tail []int32 // per priority: FIFO chain ends (-1 when empty)
+	next, prev []int32 // per item: chain links
+	bucket     []int32 // per item: current priority, -1 when absent
+
+	numItems int
+	numPrios int
+	size     int
+}
+
+// New returns a queue for item IDs in [0, items) and priorities in
+// [0, priorities).
+func New(items, priorities int) *Queue {
+	q := &Queue{}
+	q.Reset(items, priorities)
+	return q
+}
+
+var pool = sync.Pool{New: func() any { return &Queue{} }}
+
+// Get returns a pooled queue reset for the given capacity.
+func Get(items, priorities int) *Queue {
+	q := pool.Get().(*Queue)
+	q.Reset(items, priorities)
+	return q
+}
+
+// Put returns a queue to the pool.
+func Put(q *Queue) { pool.Put(q) }
+
+// Reset re-dimensions the queue and empties it. Backing arrays are reused
+// when large enough; a queue that was drained to empty needs no clearing
+// beyond the newly grown regions.
+func (q *Queue) Reset(items, priorities int) {
+	if items < 0 || priorities < 0 {
+		panic(fmt.Sprintf("readyq: negative capacity %d/%d", items, priorities))
+	}
+	if q.size != 0 {
+		// Abandoned non-empty queue: drain so the invariant "empty queue
+		// has clean arrays" is restored before reuse.
+		for q.size > 0 {
+			q.PopMin()
+		}
+	}
+	nw := (priorities + 63) / 64
+	ns := (nw + 63) / 64
+	q.words = growZero(q.words, nw)
+	q.summary = growZero(q.summary, ns)
+	q.head = growNeg(q.head, priorities)
+	q.tail = growNeg(q.tail, priorities)
+	q.next = growNeg(q.next, items)
+	q.prev = growNeg(q.prev, items)
+	q.bucket = growNeg(q.bucket, items)
+	q.numItems = items
+	q.numPrios = priorities
+}
+
+// growZero extends s to n entries; newly exposed entries are zero. Entries
+// below the previous length are trusted clean (drained-queue invariant).
+func growZero(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]uint64, n)
+	copy(out, s)
+	return out
+}
+
+// growNeg extends s to n entries; newly exposed entries are -1.
+func growNeg(s []int32, n int) []int32 {
+	old := len(s)
+	if cap(s) >= n {
+		s = s[:n]
+	} else {
+		out := make([]int32, n)
+		copy(out, s)
+		for i := old; i < n; i++ {
+			out[i] = -1
+		}
+		return out
+	}
+	for i := old; i < n; i++ {
+		s[i] = -1
+	}
+	return s
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return q.size }
+
+// Contains reports whether the item is currently queued.
+func (q *Queue) Contains(item int32) bool { return q.bucket[item] >= 0 }
+
+// Push appends the item to the FIFO chain of the given priority. Pushing
+// an item that is already queued is a programming error and panics.
+func (q *Queue) Push(item, prio int32) {
+	if item < 0 || int(item) >= q.numItems {
+		panic(fmt.Sprintf("readyq: item %d out of range [0,%d)", item, q.numItems))
+	}
+	if prio < 0 || int(prio) >= q.numPrios {
+		panic(fmt.Sprintf("readyq: priority %d out of range [0,%d)", prio, q.numPrios))
+	}
+	if q.bucket[item] >= 0 {
+		panic(fmt.Sprintf("readyq: item %d already queued at priority %d", item, q.bucket[item]))
+	}
+	q.bucket[item] = prio
+	q.next[item] = -1
+	if t := q.tail[prio]; t >= 0 {
+		q.prev[item] = t
+		q.next[t] = item
+		q.tail[prio] = item
+	} else {
+		q.prev[item] = -1
+		q.head[prio] = item
+		q.tail[prio] = item
+		w := prio >> 6
+		q.words[w] |= 1 << (63 - uint(prio&63))
+		q.summary[w>>6] |= 1 << (63 - uint(w&63))
+	}
+	q.size++
+}
+
+// Min returns the head item of the lowest non-empty priority without
+// removing it.
+func (q *Queue) Min() (item, prio int32, ok bool) {
+	p, ok := q.minPrio()
+	if !ok {
+		return -1, -1, false
+	}
+	return q.head[p], p, true
+}
+
+// minPrio locates the lowest set bit position: a linear scan over the
+// summary tier (one word per 4096 priorities, so a single iteration for
+// every DFG this repo has ever seen) and two CLZ hops.
+func (q *Queue) minPrio() (int32, bool) {
+	for s, sw := range q.summary {
+		if sw == 0 {
+			continue
+		}
+		w := s<<6 + bits.LeadingZeros64(sw)
+		return int32(w<<6 + bits.LeadingZeros64(q.words[w])), true
+	}
+	return -1, false
+}
+
+// PopMin removes and returns the head item of the lowest non-empty
+// priority. FIFO order within a priority makes the pop sequence — and
+// everything scheduled off it — deterministic.
+func (q *Queue) PopMin() (item, prio int32, ok bool) {
+	p, ok := q.minPrio()
+	if !ok {
+		return -1, -1, false
+	}
+	it := q.head[p]
+	q.unlink(it, p)
+	return it, p, true
+}
+
+// Remove unlinks a queued item from wherever it sits, in O(1). Removing an
+// item that is not queued is a programming error and panics.
+func (q *Queue) Remove(item int32) {
+	p := q.bucket[item]
+	if p < 0 {
+		panic(fmt.Sprintf("readyq: remove of unqueued item %d", item))
+	}
+	q.unlink(item, p)
+}
+
+func (q *Queue) unlink(item, prio int32) {
+	nx, pv := q.next[item], q.prev[item]
+	if pv >= 0 {
+		q.next[pv] = nx
+	} else {
+		q.head[prio] = nx
+	}
+	if nx >= 0 {
+		q.prev[nx] = pv
+	} else {
+		q.tail[prio] = pv
+	}
+	q.next[item], q.prev[item], q.bucket[item] = -1, -1, -1
+	if q.head[prio] < 0 {
+		w := prio >> 6
+		q.words[w] &^= 1 << (63 - uint(prio&63))
+		if q.words[w] == 0 {
+			q.summary[w>>6] &^= 1 << (63 - uint(w&63))
+		}
+	}
+	q.size--
+}

@@ -1,0 +1,184 @@
+package readyq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestReadyQueueFIFOWithinPriority(t *testing.T) {
+	q := New(8, 4)
+	q.Push(3, 1)
+	q.Push(5, 1)
+	q.Push(1, 1)
+	want := []int32{3, 5, 1}
+	for i, w := range want {
+		it, p, ok := q.PopMin()
+		if !ok || it != w || p != 1 {
+			t.Fatalf("pop %d: got (%d,%d,%v), want (%d,1,true)", i, it, p, ok, w)
+		}
+	}
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestReadyQueuePriorityOrder(t *testing.T) {
+	// Differential: random pushes against a stable reference sort by
+	// (priority, push sequence).
+	rng := rand.New(rand.NewSource(42))
+	const items, prios = 500, 300
+	q := New(items, prios)
+	type entry struct {
+		item, prio int32
+		seq        int
+	}
+	var ref []entry
+	for i := 0; i < items; i++ {
+		e := entry{item: int32(i), prio: int32(rng.Intn(prios)), seq: i}
+		ref = append(ref, e)
+		q.Push(e.item, e.prio)
+	}
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].prio < ref[j].prio })
+	for i, e := range ref {
+		it, p, ok := q.PopMin()
+		if !ok || it != e.item || p != e.prio {
+			t.Fatalf("pop %d: got (%d,%d,%v), want (%d,%d,true)", i, it, p, ok, e.item, e.prio)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestReadyQueueInterleavedPushPop(t *testing.T) {
+	// Pops interleaved with pushes at decreasing priorities must always
+	// yield the current minimum.
+	q := New(64, 64)
+	q.Push(10, 50)
+	q.Push(11, 40)
+	if it, p, _ := q.PopMin(); it != 11 || p != 40 {
+		t.Fatalf("got (%d,%d), want (11,40)", it, p)
+	}
+	q.Push(12, 30)
+	q.Push(13, 45)
+	if it, p, _ := q.PopMin(); it != 12 || p != 30 {
+		t.Fatalf("got (%d,%d), want (12,30)", it, p)
+	}
+	if it, p, _ := q.PopMin(); it != 13 || p != 45 {
+		t.Fatalf("got (%d,%d), want (13,45)", it, p)
+	}
+	if it, p, _ := q.PopMin(); it != 10 || p != 50 {
+		t.Fatalf("got (%d,%d), want (10,50)", it, p)
+	}
+}
+
+func TestReadyQueueRemove(t *testing.T) {
+	q := New(16, 16)
+	for i := int32(0); i < 6; i++ {
+		q.Push(i, i%3)
+	}
+	// Chains: prio0 {0,3}, prio1 {1,4}, prio2 {2,5}.
+	q.Remove(0) // head of its chain
+	q.Remove(4) // tail of its chain
+	q.Remove(2) // sole predecessor case after removal below
+	if q.Contains(0) || q.Contains(4) || q.Contains(2) {
+		t.Fatal("removed item still reported queued")
+	}
+	var got []int32
+	for {
+		it, _, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		got = append(got, it)
+	}
+	want := []int32{3, 1, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadyQueueMinPeek(t *testing.T) {
+	q := New(8, 2048)
+	if _, _, ok := q.Min(); ok {
+		t.Fatal("Min on empty queue reported ok")
+	}
+	q.Push(7, 2000)
+	q.Push(3, 65) // different summary word than 2000
+	if it, p, ok := q.Min(); !ok || it != 3 || p != 65 {
+		t.Fatalf("Min = (%d,%d,%v), want (3,65,true)", it, p, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Min must not consume; len = %d", q.Len())
+	}
+}
+
+func TestReadyQueueWideSummary(t *testing.T) {
+	// More than 4096 priorities exercises the multi-word summary scan.
+	const prios = 5000
+	q := New(4, prios)
+	q.Push(0, prios-1)
+	q.Push(1, 4097)
+	if it, p, _ := q.PopMin(); it != 1 || p != 4097 {
+		t.Fatalf("got (%d,%d), want (1,4097)", it, p)
+	}
+	if it, p, _ := q.PopMin(); it != 0 || p != prios-1 {
+		t.Fatalf("got (%d,%d), want (0,%d)", it, p, prios-1)
+	}
+}
+
+func TestReadyQueueResetReuse(t *testing.T) {
+	q := Get(32, 32)
+	q.Push(1, 5)
+	q.Push(2, 9)
+	// Abandon non-empty, then Reset: the queue must come back clean.
+	q.Reset(64, 64)
+	if q.Len() != 0 {
+		t.Fatalf("reset queue has len %d", q.Len())
+	}
+	q.Push(40, 63) // exercises the grown regions
+	if it, p, _ := q.PopMin(); it != 40 || p != 63 {
+		t.Fatalf("got (%d,%d), want (40,63)", it, p)
+	}
+	Put(q)
+}
+
+func TestReadyQueueSteadyStateAllocs(t *testing.T) {
+	q := New(1024, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Reset(1024, 256)
+		for i := int32(0); i < 1024; i++ {
+			q.Push(i, i&255)
+		}
+		for q.Len() > 0 {
+			q.PopMin()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle allocated %.1f times, want 0", allocs)
+	}
+}
+
+func TestReadyQueuePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	q := New(4, 4)
+	expectPanic("item range", func() { q.Push(4, 0) })
+	expectPanic("prio range", func() { q.Push(0, 4) })
+	q.Push(0, 0)
+	expectPanic("double push", func() { q.Push(0, 1) })
+	expectPanic("remove unqueued", func() { q.Remove(1) })
+}
