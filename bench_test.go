@@ -526,6 +526,67 @@ func BenchmarkRunBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkRunBatchWords measures the packed-bits facade against the
+// map-keyed RunBatch on the same vectors: no per-vector maps on the way in,
+// a reused buffer on the way out, so the steady state is allocation-free
+// (allocs/op is the point of this benchmark — see ReportAllocs).
+func BenchmarkRunBatchWords(b *testing.B) {
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 8, Segments: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := sherlock.CompileGraph(g, sherlock.Options{
+		Tech:      sherlock.ReRAM,
+		ArraySize: 128,
+		Arrays:    4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const vectors = 256
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]map[string]bool, vectors)
+	for i := range batch {
+		in := make(map[string]bool)
+		for _, id := range c.Graph.Inputs() {
+			in[c.Graph.Name(id)] = rng.Intn(2) == 1
+		}
+		batch[i] = in
+	}
+	names := c.InputNames()
+	W := (vectors + 63) / 64
+	packed := make([]uint64, len(names)*W)
+	for l, vec := range batch {
+		for s, name := range names {
+			if vec[name] {
+				packed[s*W+l/64] |= uint64(1) << uint(l%64)
+			}
+		}
+	}
+
+	b.Run("maps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RunBatch(batch, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(vectors)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+	})
+	b.Run("words", func(b *testing.B) {
+		var out []uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err = c.RunBatchWords(packed, vectors, out, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(vectors)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+	})
+}
+
 // BenchmarkPredecode measures the one-time program -> micro-op decode that
 // Compiled.Run/RunBatch and the Monte-Carlo campaigns amortize: full
 // validation, offset resolution and instruction fusion in a single pass.

@@ -27,7 +27,9 @@
 //	sherlock-vet [-root DIR] [packages...]
 //
 // Packages default to the deterministic core: internal/mapping,
-// internal/sim, internal/experiments, internal/isa, internal/readyq.
+// internal/sim, internal/experiments, internal/isa, internal/readyq,
+// plus the serving layer (internal/serve, internal/memo, internal/pool),
+// whose coalesced outputs must be bit-identical however batches compose.
 // Directories are scanned
 // non-recursively and _test.go files are skipped. Exit status: 0 clean,
 // 1 findings, 2 parse/usage failure.
@@ -53,6 +55,9 @@ var defaultDirs = []string{
 	"internal/experiments",
 	"internal/isa",
 	"internal/readyq",
+	"internal/serve",
+	"internal/memo",
+	"internal/pool",
 }
 
 func main() {

@@ -50,6 +50,31 @@ func RunSobel(h Hierarchy, width, height int) Cost {
 	return m.Finish()
 }
 
+// RunGateNetwork models one 64-lane bit-sliced pass over an arbitrary
+// gate network on the baseline core: each of `gates` gates is two slice
+// loads, one ALU op and one slice store over a working set of `operands`
+// slice words, with the same strided operand probe RunAES uses (a gate
+// mostly reads recent intermediates but regularly reaches back). This is
+// the generic per-kernel cost the serving layer's TDO-CIM-style router
+// compares against the measured CIM pass latency: any compiled DFG
+// summarizes to (gates, operands) without a hand-written trace.
+func RunGateNetwork(h Hierarchy, gates, operands int) Cost {
+	m := NewModel(h)
+	if operands < 1 {
+		operands = 1
+	}
+	for gate := 0; gate < gates; gate++ {
+		a := (gate*2 + 17) % operands
+		b := (gate*7 + 101) % operands
+		out := gate % operands
+		m.Load(uint64(baseTables + a*8))
+		m.Load(uint64(baseTables + b*8))
+		m.ALU(1)
+		m.Store(uint64(baseTables + out*8))
+	}
+	return m.Finish()
+}
+
 // RunAES encrypts `blocks` 16-byte blocks with *bit-sliced* software
 // AES-128 — the same kernel form the CIM side executes (the paper's flow
 // compiles the Usuba bit-sliced implementation for both targets). The CPU

@@ -20,7 +20,6 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"sherlock/internal/arraymodel"
 	"sherlock/internal/device"
@@ -28,6 +27,7 @@ import (
 	"sherlock/internal/layout"
 	"sherlock/internal/logic"
 	"sherlock/internal/mapping"
+	"sherlock/internal/memo"
 	"sherlock/internal/pool"
 	"sherlock/internal/sim"
 	"sherlock/internal/workloads/aes"
@@ -108,31 +108,25 @@ func Lanes(arraySize int) int { return 4 * arraySize }
 
 // Runner memoizes built graphs and mappings across experiments (the same
 // program is costed under several technologies). It is safe for concurrent
-// use: memoization is singleflight-style — the first goroutine to request
-// a key builds it while later requesters block on the same entry, so no
-// graph or mapping is ever computed twice.
+// use: memoization rides on memo.Memo (the same singleflight cache behind
+// internal/serve's program registry) — the first goroutine to request a key
+// builds it while later requesters block on the same entry, so no graph or
+// mapping is ever computed twice. Campaign caches are unbounded: a campaign
+// revisits every cell it builds.
 type Runner struct {
 	setup  Setup
-	mu     sync.Mutex
-	graphs map[graphKey]*entry[*dfg.Graph]
-	mapped map[mapKey]*entry[*mapping.Result]
-	execs  map[*mapping.Result]*entry[*sim.Exec]
-}
-
-// entry is one singleflight memoization slot.
-type entry[T any] struct {
-	once sync.Once
-	val  T
-	err  error
+	graphs *memo.Memo[graphKey, *dfg.Graph]
+	mapped *memo.Memo[mapKey, *mapping.Result]
+	execs  *memo.Memo[*mapping.Result, *sim.Exec]
 }
 
 // NewRunner builds a Runner for the setup.
 func NewRunner(s Setup) *Runner {
 	return &Runner{
 		setup:  s,
-		graphs: make(map[graphKey]*entry[*dfg.Graph]),
-		mapped: make(map[mapKey]*entry[*mapping.Result]),
-		execs:  make(map[*mapping.Result]*entry[*sim.Exec]),
+		graphs: memo.New[graphKey, *dfg.Graph](memo.Config[*dfg.Graph]{}),
+		mapped: memo.New[mapKey, *mapping.Result](memo.Config[*mapping.Result]{}),
+		execs:  memo.New[*mapping.Result, *sim.Exec](memo.Config[*sim.Exec]{}),
 	}
 }
 
@@ -141,15 +135,9 @@ func NewRunner(s Setup) *Runner {
 // grid cells decode each program once and share the immutable Exec across
 // workers.
 func (r *Runner) Exec(res *mapping.Result) (*sim.Exec, error) {
-	r.mu.Lock()
-	e, ok := r.execs[res]
-	if !ok {
-		e = new(entry[*sim.Exec])
-		r.execs[res] = e
-	}
-	r.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = sim.Predecode(res.Program, res.Layout.Target()) })
-	return e.val, e.err
+	return r.execs.Do(res, func() (*sim.Exec, error) {
+		return sim.Predecode(res.Program, res.Layout.Target())
+	})
 }
 
 // Setup returns the campaign parameters.
@@ -202,19 +190,12 @@ func (r *Runner) GraphCostAware(w Workload, substFraction float64, nand bool, te
 func fracPct(f float64) int { return int(f*100 + 0.5) }
 
 func (r *Runner) graph(key graphKey) (*dfg.Graph, error) {
-	r.mu.Lock()
-	e, ok := r.graphs[key]
-	if !ok {
-		e = new(entry[*dfg.Graph])
-		r.graphs[key] = e
-	}
-	r.mu.Unlock()
-	// The build runs outside the map lock: other keys proceed in parallel,
-	// and duplicate requesters of this key block on the Once instead of
-	// redoing the work. A base-graph key (frac < 0) may be built reentrantly
-	// from a transformed key's builder — distinct entries, no deadlock.
-	e.once.Do(func() { e.val, e.err = r.buildGraph(key) })
-	return e.val, e.err
+	// The build runs outside the cache lock: other keys proceed in parallel,
+	// and duplicate requesters of this key block on the same entry instead
+	// of redoing the work. A base-graph key (frac < 0) may be built
+	// reentrantly from a transformed key's builder — distinct entries, no
+	// deadlock (memo.Do is reentrant across keys).
+	return r.graphs.Do(key, func() (*dfg.Graph, error) { return r.buildGraph(key) })
 }
 
 func (r *Runner) buildGraph(key graphKey) (*dfg.Graph, error) {
@@ -289,15 +270,9 @@ func (r *Runner) MapCostAware(w Workload, substFraction float64, nand bool, tech
 
 func (r *Runner) mapGraph(gk graphKey, arraySize int, naive bool) (*mapping.Result, error) {
 	key := mapKey{g: gk, size: arraySize, naive: naive}
-	r.mu.Lock()
-	e, ok := r.mapped[key]
-	if !ok {
-		e = new(entry[*mapping.Result])
-		r.mapped[key] = e
-	}
-	r.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = r.buildMapping(gk, arraySize, naive) })
-	return e.val, e.err
+	return r.mapped.Do(key, func() (*mapping.Result, error) {
+		return r.buildMapping(gk, arraySize, naive)
+	})
 }
 
 func (r *Runner) buildMapping(gk graphKey, arraySize int, naive bool) (*mapping.Result, error) {

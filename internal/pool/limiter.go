@@ -1,0 +1,46 @@
+package pool
+
+// Limiter is a counting semaphore bounding concurrent admissions — the
+// serving layer's guard against unbounded executor passes when many
+// kernels' batch windows flush at once. A nil *Limiter admits everything,
+// so callers thread an optional limiter without branching.
+type Limiter struct {
+	ch chan struct{}
+}
+
+// NewLimiter builds a limiter admitting up to n concurrent holders.
+// n <= 0 returns nil (unlimited).
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		return nil
+	}
+	return &Limiter{ch: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free. No-op on a nil limiter.
+func (l *Limiter) Acquire() {
+	if l != nil {
+		l.ch <- struct{}{}
+	}
+}
+
+// Release frees a slot taken by Acquire. No-op on a nil limiter.
+func (l *Limiter) Release() {
+	if l != nil {
+		<-l.ch
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting success. A nil
+// limiter always succeeds.
+func (l *Limiter) TryAcquire() bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case l.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}

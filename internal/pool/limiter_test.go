@@ -1,0 +1,64 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimiterNilAdmitsEverything(t *testing.T) {
+	var l *Limiter = NewLimiter(0)
+	if l != nil {
+		t.Fatal("NewLimiter(0) should be nil (unlimited)")
+	}
+	l.Acquire() // must not block or panic
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("nil limiter refused an admission")
+	}
+}
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	const slots = 3
+	const workers = 24
+	l := NewLimiter(slots)
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Acquire()
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Fatalf("observed %d concurrent holders, limit is %d", p, slots)
+	}
+	if !l.TryAcquire() {
+		t.Fatal("all slots should be free after every worker released")
+	}
+}
+
+func TestLimiterTryAcquire(t *testing.T) {
+	l := NewLimiter(1)
+	if !l.TryAcquire() {
+		t.Fatal("first TryAcquire on an empty limiter failed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with no free slot")
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire failed after a release")
+	}
+}

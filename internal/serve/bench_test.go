@@ -1,0 +1,258 @@
+package serve
+
+// Serving-layer benchmarks: what compile-once serve-many buys.
+//
+//   - BenchmarkRegistryAES: cold pipeline compile vs registry hit on the
+//     quick (2-round) AES kernel, the PR's >=100x acceptance target. The
+//     bykey variant is the steady-state serve path (clients hold the
+//     content address); rehash pays graph re-fingerprinting on every call.
+//   - BenchmarkServeMixedLoad: the load generator — concurrent callers
+//     issuing small (<=32-vector) requests across 4 distinct kernels,
+//     naive per-caller RunBatch vs the coalescing service, >=3x aggregate
+//     vectors/sec acceptance target.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sherlock"
+	"sherlock/internal/workloads/aes"
+	"sherlock/internal/workloads/bitweaving"
+)
+
+func quickAES(b *testing.B) (*sherlock.Graph, sherlock.Options) {
+	b.Helper()
+	g, err := aes.Build(aes.Config{Rounds: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, sherlock.Options{
+		Tech:      sherlock.STTMRAM,
+		ArraySize: 512,
+		Arrays:    4,
+		Mapper:    sherlock.MapperOptimized,
+	}
+}
+
+func BenchmarkRegistryAES(b *testing.B) {
+	g, opts := quickAES(b)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sherlock.CompileGraph(g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit-bykey", func(b *testing.B) {
+		reg := NewRegistry(RegistryConfig{})
+		warm, err := reg.CompileGraph(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := warm.Key
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, ok := reg.Lookup(key)
+			if !ok || e != warm {
+				b.Fatal("lost the resident entry")
+			}
+		}
+	})
+	b.Run("hit-rehash", func(b *testing.B) {
+		reg := NewRegistry(RegistryConfig{})
+		warm, err := reg.CompileGraph(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := reg.CompileGraph(g, opts)
+			if err != nil || e != warm {
+				b.Fatal("rehash missed the resident entry")
+			}
+		}
+	})
+}
+
+// benchCallers is the load generator's concurrency: enough callers that
+// the coalescer's 256-lane batches fill from 32-lane requests even with
+// the traffic spread over four kernels.
+const benchCallers = 64
+
+// benchRounds is how many requests each caller issues per measured wave.
+const benchRounds = 8
+
+// benchEntries compiles the load generator's kernel mix through the given
+// registry: four distinct bitweaving scan programs (hundreds of
+// instructions each), the "many small queries against a warm kernel set"
+// shape the serving layer is built for.
+func benchEntries(b *testing.B, reg *Registry) []*Entry {
+	b.Helper()
+	entries := make([]*Entry, 0, 4)
+	for _, segments := range []int{2, 3, 4, 5} {
+		g, err := bitweaving.Build(bitweaving.Config{Bits: 8, Segments: segments})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := reg.CompileGraph(g, testOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// benchTraffic precomputes each caller's request stream — map-keyed and
+// packed forms of the same vectors — so the measured loop does no RNG or
+// input-building work.
+type benchReq struct {
+	entry  int
+	batch  []map[string]bool
+	packed []uint64
+}
+
+func benchTraffic(b *testing.B, entries []*Entry) [][]benchReq {
+	b.Helper()
+	traffic := make([][]benchReq, benchCallers)
+	for caller := range traffic {
+		rng := rand.New(rand.NewSource(int64(1000 + caller)))
+		reqs := make([]benchReq, benchRounds)
+		for i := range reqs {
+			ei := (caller + i) % len(entries)
+			batch := randBatch(rng, entries[ei].InputNames, 32)
+			packed, _ := packWords(entries[ei].InputNames, batch)
+			reqs[i] = benchReq{entry: ei, batch: batch, packed: packed}
+		}
+		traffic[caller] = reqs
+	}
+	return traffic
+}
+
+// runWave fans one wave of traffic (benchCallers x benchRounds requests)
+// out and waits for it; each caller runs its stream sequentially, like a
+// client that needs each answer before the next question.
+func runWave(b *testing.B, traffic [][]benchReq, do func(caller int, req benchReq) error) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for caller := 0; caller < benchCallers; caller++ {
+		wg.Add(1)
+		go func(caller int) {
+			defer wg.Done()
+			for _, req := range traffic[caller] {
+				if err := do(caller, req); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(caller)
+	}
+	wg.Wait()
+}
+
+func BenchmarkServeMixedLoad(b *testing.B) {
+	const vectorsPerWave = benchCallers * benchRounds * 32
+
+	b.Run("naive", func(b *testing.B) {
+		// Baseline: every caller drives its own RunBatch — per-vector map
+		// decode plus a whole executor pass per 32-lane request.
+		entries := benchEntries(b, NewRegistry(RegistryConfig{}))
+		traffic := benchTraffic(b, entries)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runWave(b, traffic, func(caller int, req benchReq) error {
+				_, err := entries[req.entry].Compiled.RunBatch(req.batch, 1)
+				return err
+			})
+		}
+		b.ReportMetric(float64(vectorsPerWave)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+	})
+
+	b.Run("coalesced-maps", func(b *testing.B) {
+		// The HTTP shape: map-keyed requests through the service. Batches
+		// merge, but every caller still pays the per-vector map tax at
+		// admission and demux — the reason the packed facade exists.
+		svc := NewService(Config{Backend: BackendCIM, Window: 5 * time.Millisecond})
+		entries := benchEntries(b, svc.Registry())
+		traffic := benchTraffic(b, entries)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runWave(b, traffic, func(caller int, req benchReq) error {
+				_, _, err := svc.Run(entries[req.entry], req.batch, BackendAuto)
+				return err
+			})
+			svc.Drain() // release stragglers parked in a window
+		}
+		b.ReportMetric(float64(vectorsPerWave)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		// The serving fast path: packed requests (RunBatchWords layout)
+		// through the batch window, output buffers reused per caller. On a
+		// saturated machine a long window lets the size trigger fill every
+		// pass, with the timer only as a straggler backstop.
+		svc := NewService(Config{Backend: BackendCIM, Window: 5 * time.Millisecond})
+		entries := benchEntries(b, svc.Registry())
+		traffic := benchTraffic(b, entries)
+		outs := make([][]uint64, benchCallers)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runWave(b, traffic, func(caller int, req benchReq) error {
+				out, _, err := svc.RunWords(entries[req.entry], req.packed, 32, outs[caller], BackendAuto)
+				outs[caller] = out
+				return err
+			})
+			svc.Drain()
+		}
+		b.ReportMetric(float64(vectorsPerWave)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+		if b.N > 1 {
+			st := svc.Stats()
+			b.ReportMetric(float64(st.Coalesce.Lanes)/float64(max64(st.Coalesce.Flushes+st.Coalesce.DirectRuns, 1)), "lanes_per_pass")
+		}
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkCoalescerSubmit measures the merge machinery itself: packed
+// submissions through a full window, no maps involved.
+func BenchmarkCoalescerSubmit(b *testing.B) {
+	e := mustCompile(b, kStage)
+	rng := rand.New(rand.NewSource(77))
+	const lanes = 32
+	const callers = 8 // 8 x 32 = 256: every wave is one size-triggered pass
+	ins := make([][]uint64, callers)
+	for c := range ins {
+		batch := randBatch(rng, e.InputNames, lanes)
+		ins[c], _ = packWords(e.InputNames, batch)
+	}
+	q := NewCoalescer(e.Compiled, CoalescerConfig{Window: -1})
+	outs := make([][]uint64, callers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var err error
+				outs[c], err = q.Submit(ins[c], lanes, outs[c])
+				if err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(callers*lanes)*float64(b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// splitLanes deterministically splits total lanes into request-sized chunks
+// (1..maxChunk), covering ragged word boundaries.
+func splitLanes(rng *rand.Rand, total, maxChunk int) []int {
+	var chunks []int
+	for total > 0 {
+		n := 1 + rng.Intn(maxChunk)
+		if n > total {
+			n = total
+		}
+		chunks = append(chunks, n)
+		total -= n
+	}
+	return chunks
+}
+
+// TestCoalesceBitIdenticalAtWindowEdges is the differential test the issue
+// asks for: at every interesting pending-lane count (word edges and the
+// full-pass boundary), concurrent requests merged through the coalescer
+// must return exactly the bits each caller would get running alone.
+func TestCoalesceBitIdenticalAtWindowEdges(t *testing.T) {
+	e := mustCompile(t, kStage)
+	for _, total := range []int{1, 63, 64, 65, 255, 256} {
+		t.Run(fmt.Sprintf("lanes=%d", total), func(t *testing.T) {
+			// Timer disabled, size trigger out of reach: the batch flushes
+			// only when we say so, making composition deterministic.
+			q := NewCoalescer(e.Compiled, CoalescerConfig{MaxBatchLanes: 4096, Window: -1})
+			rng := rand.New(rand.NewSource(int64(total)))
+			chunks := splitLanes(rng, total, 32)
+
+			type result struct {
+				got, want []uint64
+				err       error
+			}
+			results := make([]result, len(chunks))
+			var wg sync.WaitGroup
+			for ci, lanes := range chunks {
+				batch := randBatch(rng, e.InputNames, lanes)
+				in, _ := packWords(e.InputNames, batch)
+				want, err := e.Compiled.RunBatchWords(in, lanes, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results[ci].want = want
+				wg.Add(1)
+				go func(ci, lanes int, in []uint64) {
+					defer wg.Done()
+					results[ci].got, results[ci].err = q.Submit(in, lanes, nil)
+				}(ci, lanes, in)
+			}
+
+			// Wait until every request joined the window, then flush once.
+			for q.PendingLanes() < total {
+				time.Sleep(50 * time.Microsecond)
+			}
+			q.Flush()
+			wg.Wait()
+
+			for ci := range results {
+				if results[ci].err != nil {
+					t.Fatalf("chunk %d: %v", ci, results[ci].err)
+				}
+				checkWordsEqual(t, fmt.Sprintf("chunk %d (%d lanes)", ci, chunks[ci]),
+					results[ci].got, results[ci].want)
+			}
+			st := q.Stats()
+			if st.Flushes != 1 {
+				t.Fatalf("flushes = %d, want the whole composition in 1 merged pass", st.Flushes)
+			}
+			if st.MaxBatch != int64(total) {
+				t.Fatalf("max batch = %d lanes, want %d", st.MaxBatch, total)
+			}
+			if int(st.Requests) != len(chunks) || st.Lanes != int64(total) {
+				t.Fatalf("stats admitted %d requests / %d lanes, want %d / %d",
+					st.Requests, st.Lanes, len(chunks), total)
+			}
+		})
+	}
+}
+
+// TestCoalesceSizeTrigger fills the window to exactly the lane threshold
+// and expects an automatic flush with no timer involved.
+func TestCoalesceSizeTrigger(t *testing.T) {
+	e := mustCompile(t, kMux)
+	q := NewCoalescer(e.Compiled, CoalescerConfig{MaxBatchLanes: 256, Window: -1})
+	rng := rand.New(rand.NewSource(3))
+
+	const requests = 8 // 8 x 32 lanes = 256 = threshold
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		batch := randBatch(rng, e.InputNames, 32)
+		in, _ := packWords(e.InputNames, batch)
+		want, err := e.Compiled.RunBatchWords(in, 32, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(in, want []uint64) {
+			defer wg.Done()
+			got, err := q.Submit(in, 32, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					errs <- fmt.Errorf("coalesced output diverged at word %d", i)
+					return
+				}
+			}
+		}(in, want)
+	}
+	wg.Wait() // the 8th submission must flush the batch by itself
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := q.Stats()
+	if st.SizeFlushes == 0 {
+		t.Fatal("no size-triggered flush at the lane threshold")
+	}
+	if st.TimerFlushes != 0 {
+		t.Fatalf("timer flushed %d times with the timer disabled", st.TimerFlushes)
+	}
+	if st.Lanes != 256 {
+		t.Fatalf("admitted %d lanes, want 256", st.Lanes)
+	}
+}
+
+// TestCoalesceTimerFlush submits one lonely request and relies on the
+// window timer to push it out.
+func TestCoalesceTimerFlush(t *testing.T) {
+	e := mustCompile(t, kParity)
+	q := NewCoalescer(e.Compiled, CoalescerConfig{Window: time.Millisecond})
+	rng := rand.New(rand.NewSource(5))
+	batch := randBatch(rng, e.InputNames, 8)
+	in, _ := packWords(e.InputNames, batch)
+	want, err := e.Compiled.RunBatchWords(in, 8, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Submit(in, 8, nil) // blocks until the timer fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordsEqual(t, "timer-flushed request", got, want)
+	st := q.Stats()
+	if st.TimerFlushes != 1 {
+		t.Fatalf("timer flushes = %d, want 1", st.TimerFlushes)
+	}
+}
+
+// TestCoalesceDirectBypass pins that a request at or above the batch
+// threshold skips the window entirely.
+func TestCoalesceDirectBypass(t *testing.T) {
+	e := mustCompile(t, kMaj)
+	q := NewCoalescer(e.Compiled, CoalescerConfig{MaxBatchLanes: 64, Window: -1})
+	rng := rand.New(rand.NewSource(9))
+	batch := randBatch(rng, e.InputNames, 100)
+	in, _ := packWords(e.InputNames, batch)
+	want, err := e.Compiled.RunBatchWords(in, 100, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Submit(in, 100, nil) // 100 >= 64: must not wait for a flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordsEqual(t, "direct run", got, want)
+	st := q.Stats()
+	if st.DirectRuns != 1 || st.Flushes != 0 {
+		t.Fatalf("direct runs = %d, flushes = %d; want 1 bypass and no merged batch",
+			st.DirectRuns, st.Flushes)
+	}
+}
+
+// TestCoalesceAdmissionErrors pins that malformed requests fail at
+// admission, before joining a batch.
+func TestCoalesceAdmissionErrors(t *testing.T) {
+	e := mustCompile(t, kMux)
+	q := NewCoalescer(e.Compiled, CoalescerConfig{Window: -1})
+	if _, err := q.Submit(nil, 0, nil); err == nil {
+		t.Fatal("zero-lane submit admitted")
+	}
+	if _, err := q.Submit(make([]uint64, 1), 8, nil); err == nil {
+		t.Fatal("short input block admitted")
+	}
+	if q.PendingLanes() != 0 {
+		t.Fatal("rejected requests left lanes pending")
+	}
+}
+
+// TestOrExtractShiftedFuzz drives the bit-packing helpers against a naive
+// bit-at-a-time model across ragged offsets and lengths.
+func TestOrExtractShiftedFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	getBit := func(ws []uint64, i int) uint64 { return ws[i/64] >> uint(i%64) & 1 }
+	for iter := 0; iter < 2000; iter++ {
+		lanes := 1 + rng.Intn(130)
+		bitOff := rng.Intn(200)
+		total := bitOff + lanes + rng.Intn(70)
+		W := laneWords(total)
+
+		src := make([]uint64, laneWords(lanes))
+		for i := range src {
+			src[i] = rng.Uint64() // includes garbage above `lanes`
+		}
+		dst := make([]uint64, W)
+		orShifted(dst, bitOff, src, lanes)
+		for i := 0; i < total; i++ {
+			want := uint64(0)
+			if i >= bitOff && i < bitOff+lanes {
+				want = getBit(src, i-bitOff)
+			}
+			if getBit(dst, i) != want {
+				t.Fatalf("iter %d: orShifted bit %d = %d, want %d (off %d, lanes %d)",
+					iter, i, getBit(dst, i), want, bitOff, lanes)
+			}
+		}
+
+		back := make([]uint64, laneWords(lanes))
+		extractShifted(back, dst, bitOff, lanes)
+		for i := 0; i < len(back)*64; i++ {
+			want := uint64(0)
+			if i < lanes {
+				want = getBit(src, i)
+			}
+			if getBit(back, i) != want {
+				t.Fatalf("iter %d: extractShifted bit %d = %d, want %d (off %d, lanes %d)",
+					iter, i, getBit(back, i), want, bitOff, lanes)
+			}
+		}
+	}
+}

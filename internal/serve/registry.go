@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"sync"
+
+	"sherlock"
+	"sherlock/internal/cpu"
+	"sherlock/internal/dfg"
+	"sherlock/internal/memo"
+)
+
+// laneCap is the lane capacity of one pooled executor pass
+// (sim.DefaultBlockWords * 64); the coalescer's default flush threshold
+// and the router's CIM amortization unit.
+const laneCap = 256
+
+// RegistryConfig bounds the registry.
+type RegistryConfig struct {
+	// MaxPrograms caps how many compiled programs stay resident
+	// (0 = unbounded).
+	MaxPrograms int
+	// MaxBytes caps the estimated retained size of resident programs
+	// (0 = unbounded). Estimates count instruction streams and decoded
+	// executors, not exact heap bytes.
+	MaxBytes int64
+}
+
+// Registry is the content-addressed compile cache: Key → *Entry with
+// singleflight population (concurrent requesters of one key share a single
+// compile) and LRU + size-bounded eviction. Entries are immutable once
+// built; eviction drops only the registry's reference, so an evicted
+// program that is still executing somewhere finishes unharmed and a later
+// request simply recompiles.
+type Registry struct {
+	memo *memo.Memo[Key, *Entry]
+}
+
+// NewRegistry builds a registry with the given bounds.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{
+		memo: memo.New[Key, *Entry](memo.Config[*Entry]{
+			MaxEntries: cfg.MaxPrograms,
+			MaxBytes:   cfg.MaxBytes,
+			SizeOf:     func(e *Entry) int64 { return e.sizeEstimate },
+		}),
+	}
+}
+
+// CompileC resolves (source, options) through the registry: a content hit
+// returns the resident program without touching the compile pipeline; a
+// miss compiles once, however many requesters are waiting on the key.
+func (r *Registry) CompileC(src string, opts sherlock.Options) (*Entry, error) {
+	key := KeySource(src, opts)
+	return r.memo.Do(key, func() (*Entry, error) {
+		c, err := sherlock.CompileC(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newEntry(key, c), nil
+	})
+}
+
+// CompileGraph is CompileC for programmatically built DFGs.
+func (r *Registry) CompileGraph(g *sherlock.Graph, opts sherlock.Options) (*Entry, error) {
+	key := KeyGraph(g, opts)
+	return r.memo.Do(key, func() (*Entry, error) {
+		c, err := sherlock.CompileGraph(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newEntry(key, c), nil
+	})
+}
+
+// Lookup returns the resident entry for a key without compiling anything
+// (the serve-by-key path: callers that compiled earlier hold the Key).
+func (r *Registry) Lookup(key Key) (*Entry, bool) {
+	return r.memo.Lookup(key)
+}
+
+// Forget drops a key if resident.
+func (r *Registry) Forget(key Key) bool { return r.memo.Forget(key) }
+
+// Stats snapshots the registry counters (hits, misses, singleflight
+// coalescing, evictions, residency).
+func (r *Registry) Stats() memo.Stats { return r.memo.Stats() }
+
+// Entry is one resident compiled program plus the serving metadata that
+// every request would otherwise recompute: resolved input/output orders,
+// the CPU-backend input wiring, and the router's per-entry cost estimates.
+// All fields are immutable after construction; Entry is safe for
+// unbounded concurrent use.
+type Entry struct {
+	Key      Key
+	Compiled *sherlock.Compiled
+
+	// InputNames is the packed-block slot order (program binding order);
+	// OutputNames the readout row order. Read-only.
+	InputNames  []string
+	OutputNames []string
+
+	sizeEstimate int64
+
+	// graphInSlots wires the CPU backend: packed-block slot index of each
+	// dfg input, in Graph.Inputs() order. cpuOK is false when some graph
+	// input has no binding slot (the mapper folded it away), in which case
+	// only the CIM backend can serve the entry.
+	graphInSlots []int
+	cpuOK        bool
+
+	// Lazily measured routing costs (see router.go).
+	routeOnce sync.Once
+	route     routeCosts
+	routeErr  error
+
+	evals sync.Pool // *dfg.WordEvaluator for the CPU backend
+
+	// The entry's coalescer rides along with it: when the registry evicts
+	// the entry, the queue goes too (after any in-flight flush completes —
+	// both only reference immutable state). Built by the owning Service.
+	coalOnce sync.Once
+	coal     *Coalescer
+}
+
+func newEntry(key Key, c *sherlock.Compiled) *Entry {
+	e := &Entry{
+		Key:         key,
+		Compiled:    c,
+		InputNames:  c.InputNames(),
+		OutputNames: c.OutputNames(),
+	}
+	slot := make(map[string]int, len(e.InputNames))
+	for i, name := range e.InputNames {
+		slot[name] = i
+	}
+	ins := c.Graph.Inputs()
+	e.graphInSlots = make([]int, len(ins))
+	e.cpuOK = true
+	for i, in := range ins {
+		s, ok := slot[c.Graph.Name(in)]
+		if !ok {
+			e.cpuOK = false
+			s = -1
+		}
+		e.graphInSlots[i] = s
+	}
+	e.sizeEstimate = estimateSize(c)
+	return e
+}
+
+// Instructions returns the emitted program length (a stable size metric
+// for responses and logs).
+func (e *Entry) Instructions() int { return len(e.Compiled.Program) }
+
+// estimateSize approximates an entry's retained footprint for the
+// MaxBytes budget: the instruction stream (header + cols/rows/ops slices)
+// plus a matching allowance for the pre-decoded executor, which scales
+// with the same totals.
+func estimateSize(c *sherlock.Compiled) int64 {
+	const instrHeader = 96 // struct + slice headers, rounded up
+	size := int64(len(c.Program)) * instrHeader
+	for i := range c.Program {
+		in := &c.Program[i]
+		size += int64(len(in.Cols)+len(in.Rows))*8 + int64(len(in.Ops))
+		for _, b := range in.Bindings {
+			size += int64(len(b)) + 16
+		}
+	}
+	// Decoded micro-ops mirror the instruction stream's shape.
+	return 2 * size
+}
+
+// evaluator borrows a pooled golden-model word evaluator (CPU backend).
+func (e *Entry) evaluator() *dfg.WordEvaluator {
+	if v := e.evals.Get(); v != nil {
+		return v.(*dfg.WordEvaluator)
+	}
+	return dfg.NewWordEvaluator(e.Compiled.Graph)
+}
+
+// hierarchyFor keeps the router's CPU model parameters in one place.
+func hierarchyFor(h cpu.Hierarchy) cpu.Hierarchy {
+	if h.ClockGHz == 0 {
+		return cpu.DefaultHierarchy()
+	}
+	return h
+}

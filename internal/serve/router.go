@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"fmt"
+
+	"sherlock/internal/cpu"
+)
+
+// Backend identifies where a request executes.
+type Backend int
+
+const (
+	// BackendAuto lets the cost model decide per request.
+	BackendAuto Backend = iota
+	// BackendCIM executes on the simulated NVM array (the coalescing
+	// ExecMachine pipeline).
+	BackendCIM
+	// BackendCPU executes on the host baseline: the bit-sliced golden-model
+	// evaluation, costed by the internal/cpu hierarchy model.
+	BackendCPU
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendCIM:
+		return "cim"
+	case BackendCPU:
+		return "cpu"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend parses the wire/flag form.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "cim":
+		return BackendCIM, nil
+	case "cpu":
+		return BackendCPU, nil
+	}
+	return 0, fmt.Errorf("serve: unknown backend %q (want auto, cim or cpu)", s)
+}
+
+// routeCosts are an entry's measured per-unit latencies, computed once.
+type routeCosts struct {
+	// cimPassNS is the simulated array latency of one program pass, which
+	// serves up to laneCap lanes regardless of fill.
+	cimPassNS float64
+	// cpuSliceNS is the modeled host latency of one 64-lane bit-sliced
+	// evaluation of the kernel on the Table 1 in-order core.
+	cpuSliceNS float64
+}
+
+// Router implements TDO-CIM-style transparent offload: per request, the
+// entry's measured CIM pass latency and modeled CPU slice latency scale to
+// the request's lane count, and the cheaper backend wins. The estimates
+// deliberately compare device-model time (what the paper's Fig. 7 compares),
+// not wall-clock simulation time: the service is a faithful stand-in for
+// the hardware deployment it models.
+type Router struct {
+	h cpu.Hierarchy
+}
+
+// NewRouter builds a router using the given CPU hierarchy (zero value
+// selects cpu.DefaultHierarchy).
+func NewRouter(h cpu.Hierarchy) *Router {
+	return &Router{h: hierarchyFor(h)}
+}
+
+// costs resolves an entry's routing costs, measuring on first use: the CIM
+// side from the compiled technology's array model, the CPU side from a
+// gate-network trace through the cache-hierarchy model.
+func (r *Router) costs(e *Entry) (routeCosts, error) {
+	e.routeOnce.Do(func() {
+		cimCost, err := e.Compiled.Cost()
+		if err != nil {
+			e.routeErr = fmt.Errorf("serve: measuring CIM cost: %w", err)
+			return
+		}
+		g := e.Compiled.Graph
+		operands := g.NumNodes() - g.NumOps()
+		cpuCost := cpu.RunGateNetwork(r.h, g.NumOps(), operands)
+		e.route = routeCosts{
+			cimPassNS:  cimCost.LatencyNS,
+			cpuSliceNS: cpuCost.LatencyNS,
+		}
+	})
+	return e.route, e.routeErr
+}
+
+// Decision is one routing verdict with the estimates that produced it.
+type Decision struct {
+	Backend Backend
+	CIMNS   float64 // estimated CIM latency for this request
+	CPUNS   float64 // estimated CPU latency for this request
+}
+
+// Route decides where a lanes-wide request on e executes. force pins the
+// backend (BackendAuto means decide); a forced CPU on an entry the CPU
+// backend cannot serve (graph inputs without binding slots) falls back to
+// CIM rather than failing.
+func (r *Router) Route(e *Entry, lanes int, force Backend) (Decision, error) {
+	rc, err := r.costs(e)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{
+		CIMNS: rc.cimPassNS * float64((lanes+laneCap-1)/laneCap),
+		CPUNS: rc.cpuSliceNS * float64(laneWords(lanes)),
+	}
+	switch {
+	case force == BackendCIM || !e.cpuOK:
+		d.Backend = BackendCIM
+	case force == BackendCPU:
+		d.Backend = BackendCPU
+	case d.CPUNS < d.CIMNS:
+		d.Backend = BackendCPU
+	default:
+		d.Backend = BackendCIM
+	}
+	return d, nil
+}
+
+// runCPU executes a packed request on the host backend: one golden-model
+// word evaluation per lane word, wired through the entry's slot map.
+// Outputs land in the same output-major layout RunBatchWords produces,
+// dead lanes masked to zero — bit-identical to the CIM path by the
+// simulator's own differential tests.
+func runCPU(e *Entry, in []uint64, lanes int, out []uint64) ([]uint64, error) {
+	if !e.cpuOK {
+		return nil, fmt.Errorf("serve: entry %s cannot run on the CPU backend", e.Key)
+	}
+	W := laneWords(lanes)
+	if len(in) < len(e.InputNames)*W {
+		return nil, fmt.Errorf("serve: input block has %d words, need %d", len(in), len(e.InputNames)*W)
+	}
+	need := len(e.OutputNames) * W
+	if cap(out) < need {
+		out = make([]uint64, need)
+	} else {
+		out = out[:need]
+	}
+	ev := e.evaluator()
+	defer e.evals.Put(ev)
+	inWords := make([]uint64, len(e.graphInSlots))
+	for w := 0; w < W; w++ {
+		for gi, slot := range e.graphInSlots {
+			inWords[gi] = in[slot*W+w]
+		}
+		res := ev.Eval(inWords)
+		mask := ^uint64(0)
+		if rem := lanes - w*64; rem < 64 {
+			mask = uint64(1)<<uint(rem) - 1
+		}
+		for o := range e.OutputNames {
+			out[o*W+w] = res[o] & mask
+		}
+	}
+	return out, nil
+}

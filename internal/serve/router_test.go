@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/cpu"
+)
+
+// TestRouterAutoCrossover pins the TDO-CIM-shaped decision surface: a small
+// kernel at a handful of lanes is cheaper on the host (one bit-sliced pass
+// beats an array pass), but at a full 256-lane pass the array amortizes one
+// pass over 4x the lanes the CPU packs per slice, and CIM wins.
+func TestRouterAutoCrossover(t *testing.T) {
+	r := NewRouter(cpu.Hierarchy{})
+	e := mustCompile(t, kMux)
+	small, err := r.Route(e, 8, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Backend != BackendCPU {
+		t.Fatalf("8 lanes of a 4-gate kernel routed to %s (cim %.0fns, cpu %.0fns)",
+			small.Backend, small.CIMNS, small.CPUNS)
+	}
+	full, err := r.Route(e, 256, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Backend != BackendCIM {
+		t.Fatalf("a full 256-lane pass routed to %s (cim %.0fns, cpu %.0fns)",
+			full.Backend, full.CIMNS, full.CPUNS)
+	}
+	// Cost scaling: CIM is per-pass (ceil lanes/256), CPU per lane word.
+	two, err := r.Route(e, 257, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.CIMNS != 2*full.CIMNS {
+		t.Fatalf("257 lanes cost %.0fns CIM, want two passes = %.0fns", two.CIMNS, 2*full.CIMNS)
+	}
+	if small.CPUNS*5 != r1(t, r, e, 300).CPUNS {
+		t.Fatalf("300 lanes cost %.0fns CPU, want 5 slices = %.0fns",
+			r1(t, r, e, 300).CPUNS, small.CPUNS*5)
+	}
+}
+
+func r1(t *testing.T, r *Router, e *Entry, lanes int) Decision {
+	t.Helper()
+	d, err := r.Route(e, lanes, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRouterForcedModes(t *testing.T) {
+	r := NewRouter(cpu.Hierarchy{})
+	e := mustCompile(t, kMux)
+	if d := mustRoute(t, r, e, 8, BackendCIM); d.Backend != BackendCIM {
+		t.Fatalf("forced CIM routed to %s", d.Backend)
+	}
+	if d := mustRoute(t, r, e, 256, BackendCPU); d.Backend != BackendCPU {
+		t.Fatalf("forced CPU routed to %s", d.Backend)
+	}
+}
+
+func mustRoute(t *testing.T, r *Router, e *Entry, lanes int, force Backend) Decision {
+	t.Helper()
+	d, err := r.Route(e, lanes, force)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRouterCPUFallback: an entry the CPU backend cannot serve (a graph
+// input without a binding slot) routes to CIM even when CPU is forced, and
+// runCPU refuses it outright.
+func TestRouterCPUFallback(t *testing.T) {
+	r := NewRouter(cpu.Hierarchy{})
+	e := mustCompile(t, kMux)
+	e.cpuOK = false
+	if d := mustRoute(t, r, e, 8, BackendCPU); d.Backend != BackendCIM {
+		t.Fatalf("forced CPU on a CIM-only entry routed to %s, want the CIM fallback", d.Backend)
+	}
+	if _, err := runCPU(e, make([]uint64, len(e.InputNames)), 8, nil); err == nil {
+		t.Fatal("runCPU served a CIM-only entry")
+	}
+}
+
+// TestCPUBackendBitIdentical is the cross-backend differential: the host
+// bit-sliced evaluation must produce exactly the packed block the CIM
+// executor produces, dead lanes included.
+func TestCPUBackendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, src := range testKernels() {
+		e := mustCompile(t, src)
+		for _, lanes := range []int{1, 63, 64, 65, 100} {
+			batch := randBatch(rng, e.InputNames, lanes)
+			in, _ := packWords(e.InputNames, batch)
+			want, err := e.Compiled.RunBatchWords(in, lanes, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := runCPU(e, in, lanes, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWordsEqual(t, "cpu vs cim", got, want)
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for s, want := range map[string]Backend{"": BackendAuto, "auto": BackendAuto, "cim": BackendCIM, "cpu": BackendCPU} {
+		got, err := ParseBackend(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("gpu"); err == nil {
+		t.Fatal("ParseBackend accepted an unknown backend")
+	}
+}

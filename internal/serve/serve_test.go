@@ -1,0 +1,77 @@
+package serve
+
+// Shared test kernels and packing helpers. The four kernels are distinct
+// programs (different sources → different content addresses) small enough
+// to compile in milliseconds, which is what the mixed-traffic tests and
+// the load generator want.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sherlock"
+)
+
+const (
+	kMux    = `void mux(word s, word a, word b, word *out) { *out = (s & a) | (~s & b); }`
+	kStage  = `void stage(word v, word m, word cin, word *sum, word *cout) { word x = v & m; *sum = x ^ cin; *cout = x & cin; }`
+	kParity = `void par(word a, word b, word c, word d, word *p) { *p = (a ^ b) ^ (c ^ d); }`
+	kMaj    = `void maj(word a, word b, word c, word *out) { *out = (a & b) | (b & c) | (a & c); }`
+)
+
+func testKernels() []string { return []string{kMux, kStage, kParity, kMaj} }
+
+func testOptions() sherlock.Options {
+	return sherlock.Options{Tech: sherlock.ReRAM, ArraySize: 128, Mapper: sherlock.MapperOptimized}
+}
+
+// randBatch builds n random input vectors for the entry's bindings.
+func randBatch(rng *rand.Rand, names []string, n int) []map[string]bool {
+	batch := make([]map[string]bool, n)
+	for i := range batch {
+		vec := make(map[string]bool, len(names))
+		for _, name := range names {
+			vec[name] = rng.Intn(2) == 1
+		}
+		batch[i] = vec
+	}
+	return batch
+}
+
+// packWords packs a map batch into the slot-major RunBatchWords layout.
+func packWords(names []string, batch []map[string]bool) ([]uint64, int) {
+	lanes := len(batch)
+	W := laneWords(lanes)
+	in := make([]uint64, len(names)*W)
+	for l, vec := range batch {
+		for s, name := range names {
+			if vec[name] {
+				in[s*W+l/64] |= uint64(1) << uint(l%64)
+			}
+		}
+	}
+	return in, lanes
+}
+
+// wordsEqual compares two packed output blocks lane-for-lane.
+func checkWordsEqual(t *testing.T, label string, got, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d words, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: word %d: got %#x, want %#x", label, i, got[i], want[i])
+		}
+	}
+}
+
+func mustCompile(t testing.TB, src string) *Entry {
+	t.Helper()
+	reg := NewRegistry(RegistryConfig{})
+	e, err := reg.CompileC(src, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

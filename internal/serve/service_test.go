@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sherlock"
+)
+
+// TestServiceRunMatchesRunBatch drives the full service path (admission →
+// routing → coalescing → demux) against sherlock.RunBatch on every backend.
+func TestServiceRunMatchesRunBatch(t *testing.T) {
+	for _, force := range []Backend{BackendAuto, BackendCIM, BackendCPU} {
+		t.Run(force.String(), func(t *testing.T) {
+			svc := NewService(Config{Window: -1, Backend: force})
+			rng := rand.New(rand.NewSource(17))
+			for _, src := range testKernels() {
+				e, err := svc.CompileC(src, testOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch := randBatch(rng, e.InputNames, 77)
+				want, err := e.Compiled.RunBatch(batch, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// 77 lanes with the default 256-lane threshold would sit in a
+				// disabled window forever; flush from the side.
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for {
+						select {
+						case <-done:
+							return
+						default:
+							svc.Drain()
+						}
+					}
+				}()
+				outs, _, err := svc.Run(e, batch, BackendAuto)
+				done <- struct{}{}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(outs) != len(want) {
+					t.Fatalf("%d output vectors, want %d", len(outs), len(want))
+				}
+				for i := range outs {
+					for name, v := range want[i] {
+						if outs[i][name] != v {
+							t.Fatalf("vector %d output %q = %v, want %v", i, name, outs[i][name], v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestServiceErrorAttribution floods one kernel's window with good callers
+// and a bad one: the bad caller (missing binding) must fail alone at
+// admission and every good caller must still get its exact outputs.
+func TestServiceErrorAttribution(t *testing.T) {
+	svc := NewService(Config{Window: -1, MaxBatchLanes: 256})
+	e, err := svc.CompileC(kStage, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+
+	const good = 8 // 8 x 32 = 256 lanes: the good callers alone fill a batch
+	type result struct {
+		outs []map[string]bool
+		want []map[string]bool
+		err  error
+	}
+	results := make([]result, good)
+	var wg sync.WaitGroup
+	var badErr error
+	var badWg sync.WaitGroup
+	badWg.Add(1)
+	go func() {
+		defer badWg.Done()
+		bad := randBatch(rng, e.InputNames, 32)
+		for i := range bad {
+			delete(bad[i], e.InputNames[0])
+		}
+		_, _, badErr = svc.Run(e, bad, BackendCIM)
+	}()
+	badWg.Wait() // admission rejects it synchronously — no batch involved
+
+	for ci := 0; ci < good; ci++ {
+		batch := randBatch(rng, e.InputNames, 32)
+		want, err := e.Compiled.RunBatch(batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[ci].want = want
+		wg.Add(1)
+		go func(ci int, batch []map[string]bool) {
+			defer wg.Done()
+			results[ci].outs, _, results[ci].err = svc.Run(e, batch, BackendCIM)
+		}(ci, batch)
+	}
+	wg.Wait()
+
+	if badErr == nil {
+		t.Fatal("caller with an unbound input succeeded")
+	}
+	for ci := range results {
+		if results[ci].err != nil {
+			t.Fatalf("good caller %d caught the bad caller's error: %v", ci, results[ci].err)
+		}
+		for i := range results[ci].want {
+			for name, v := range results[ci].want[i] {
+				if results[ci].outs[i][name] != v {
+					t.Fatalf("good caller %d vector %d output %q corrupted", ci, i, name)
+				}
+			}
+		}
+	}
+}
+
+// TestServiceStats sanity-checks the counter surface after mixed traffic.
+func TestServiceStats(t *testing.T) {
+	svc := NewService(Config{Window: -1, MaxBatchLanes: 64})
+	rng := rand.New(rand.NewSource(29))
+	var wantVectors int64
+	for _, src := range testKernels() {
+		e, err := svc.CompileC(src, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.CompileC(src, testOptions()); err != nil { // hit
+			t.Fatal(err)
+		}
+		batch := randBatch(rng, e.InputNames, 64) // exactly one size flush on CIM
+		wantVectors += 64
+		if _, _, err := svc.Run(e, batch, BackendCIM); err != nil {
+			t.Fatal(err)
+		}
+		small := randBatch(rng, e.InputNames, 4)
+		wantVectors += 4
+		if _, _, err := svc.Run(e, small, BackendCPU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Registry.Misses != 4 || st.Registry.Hits != 4 {
+		t.Fatalf("registry hits/misses = %d/%d, want 4/4", st.Registry.Hits, st.Registry.Misses)
+	}
+	if st.Vectors != wantVectors {
+		t.Fatalf("vectors = %d, want %d", st.Vectors, wantVectors)
+	}
+	if st.CIMRequests != 4 || st.CPURequests != 4 {
+		t.Fatalf("cim/cpu requests = %d/%d, want 4/4", st.CIMRequests, st.CPURequests)
+	}
+	if st.Queues != 4 {
+		t.Fatalf("coalescers built = %d, want one per kernel", st.Queues)
+	}
+	if st.Coalesce.DirectRuns != 4 {
+		t.Fatalf("direct runs = %d, want each 64-lane request to bypass its 64-lane window", st.Coalesce.DirectRuns)
+	}
+}
+
+// TestServiceMixedKernelsConcurrent hammers all four kernels concurrently
+// through one service with a live timer window — the closest test to
+// production traffic, run under -race in CI.
+func TestServiceMixedKernelsConcurrent(t *testing.T) {
+	svc := NewService(Config{}) // defaults: 200µs window, 256-lane batches
+	opts := testOptions()
+	type kernel struct {
+		e *Entry
+		c *sherlock.Compiled
+	}
+	kernels := make([]kernel, 0, 4)
+	for _, src := range testKernels() {
+		e, err := svc.CompileC(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels = append(kernels, kernel{e, e.Compiled})
+	}
+
+	const goroutines = 16
+	const perG = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + gi)))
+			for i := 0; i < perG; i++ {
+				k := kernels[rng.Intn(len(kernels))]
+				lanes := 1 + rng.Intn(32)
+				batch := randBatch(rng, k.e.InputNames, lanes)
+				want, err := k.c.RunBatch(batch, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				outs, _, err := svc.Run(k.e, batch, BackendAuto)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", gi, err)
+					return
+				}
+				for v := range want {
+					for name, val := range want[v] {
+						if outs[v][name] != val {
+							errs <- fmt.Errorf("goroutine %d: vector %d output %q diverged", gi, v, name)
+							return
+						}
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Vectors == 0 || st.Registry.Misses != 4 {
+		t.Fatalf("stats after hammer: %+v", st)
+	}
+}

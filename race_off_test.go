@@ -1,0 +1,8 @@
+//go:build !race
+
+package sherlock
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under -race (the detector
+// perturbs sync.Pool reuse).
+const raceEnabled = false

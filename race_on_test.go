@@ -1,0 +1,5 @@
+//go:build race
+
+package sherlock
+
+const raceEnabled = true

@@ -158,6 +158,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Normalized returns the options with every defaulted field resolved to
+// its concrete value — the canonical form: two Options values that compile
+// identically normalize identically, which is what content-addressed
+// caches (internal/serve) key on.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // execBlockWords is the lane-block width of the pooled batch executors:
 // sim.DefaultBlockWords words = 256 input vectors per decoded program pass.
 const execBlockWords = sim.DefaultBlockWords
@@ -173,6 +179,11 @@ type Compiled struct {
 
 	bindOnce  sync.Once
 	bindNames []string // host-write bindings, in first-use order
+
+	outOnce   sync.Once
+	outNames  []string // kernel outputs, in Graph.Outputs() order
+	outPlaces []Place  // readout cell of each output, same order
+	outErr    error
 
 	// The program decodes into a micro-op executor once per Compiled;
 	// machines (per-worker mutable state over the shared Exec) pool across
@@ -309,22 +320,106 @@ func (c *Compiled) RunWithFaults(inputs map[string]bool, seed int64) (map[string
 // pooled machine state. Outputs come back in input order, bit-for-bit
 // identical to calling Run sequentially.
 func (c *Compiled) RunBatch(batch []map[string]bool, parallelism int) ([]map[string]bool, error) {
-	ex, err := c.exec()
-	if err != nil {
+	outs := make([]map[string]bool, len(batch))
+	if err := c.RunBatchInto(batch, outs, parallelism); err != nil {
 		return nil, err
 	}
-	outs := make([]map[string]bool, len(batch))
+	return outs, nil
+}
+
+// RunBatchInto is RunBatch writing into caller-owned output maps: outs must
+// have len(batch) entries; nil entries are allocated, non-nil maps are
+// cleared and refilled. Long-running callers (the serving layer, load
+// generators) reuse the same outs across calls, eliminating the per-lane
+// map allocation that dominates RunBatch's churn.
+func (c *Compiled) RunBatchInto(batch []map[string]bool, outs []map[string]bool, parallelism int) error {
+	if len(outs) != len(batch) {
+		return fmt.Errorf("sherlock: RunBatchInto: %d output slots for %d inputs", len(outs), len(batch))
+	}
+	ex, err := c.exec()
+	if err != nil {
+		return err
+	}
 	blockLanes := execBlockWords * sim.WordLanes
 	groups := (len(batch) + blockLanes - 1) / blockLanes
-	err = pool.Run(parallelism, groups, func(g int) error {
+	return pool.Run(parallelism, groups, func(g int) error {
 		start := g * blockLanes
 		end := min(start+blockLanes, len(batch))
 		return c.runExecGroup(ex, batch, outs, start, end)
 	})
+}
+
+// RunBatchWords is the packed-bits fast path: lanes input vectors arrive
+// pre-packed one-per-bit in lane words instead of one map[string]bool per
+// vector, bypassing the name resolution and per-vector decode of RunBatch
+// entirely. The layout is slot-major with stride W = ceil(lanes/64) words:
+// bit l of word in[s*W + w] is vector (64w+l)'s value for input slot s,
+// where slot order is InputNames(). Outputs return output-major with the
+// same stride: out[o*W + w] carries output o (OutputNames() order) of
+// vectors 64w..64w+63, dead lanes masked to zero. A non-nil out with
+// sufficient capacity is reused, making steady-state calls allocation-free.
+// Lane blocks fan out over up to parallelism workers, as in RunBatch.
+func (c *Compiled) RunBatchWords(in []uint64, lanes int, out []uint64, parallelism int) ([]uint64, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("sherlock: RunBatchWords needs at least one lane, got %d", lanes)
+	}
+	ex, err := c.exec()
 	if err != nil {
 		return nil, err
 	}
-	return outs, nil
+	names := c.inputNames()
+	W := laneWords(lanes)
+	if len(in) < len(names)*W {
+		return nil, fmt.Errorf("sherlock: input block has %d words, need %d (%d inputs x %d lane words)",
+			len(in), len(names)*W, len(names), W)
+	}
+	outNames, _, err := c.outputs()
+	if err != nil {
+		return nil, err
+	}
+	need := len(outNames) * W
+	if cap(out) < need {
+		out = make([]uint64, need)
+	} else {
+		out = out[:need]
+	}
+	blockLanes := execBlockWords * sim.WordLanes
+	groups := (lanes + blockLanes - 1) / blockLanes
+	if groups == 1 {
+		// The common serving case (one coalesced 256-lane pass): skip the
+		// worker-pool closure so the steady state allocates nothing.
+		err = c.runWordsGroup(ex, in, out, W, 0, lanes)
+	} else {
+		err = pool.Run(parallelism, groups, func(g int) error {
+			start := g * blockLanes
+			end := min(start+blockLanes, lanes)
+			return c.runWordsGroup(ex, in, out, W, start, end)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// laneWords returns W, the per-slot word stride of a packed lane block.
+func laneWords(lanes int) int { return (lanes + sim.WordLanes - 1) / sim.WordLanes }
+
+// InputNames returns the host-input names the compiled program consumes, in
+// slot order: slot s of a RunBatchWords input block carries the s-th name.
+func (c *Compiled) InputNames() []string {
+	return append([]string(nil), c.inputNames()...)
+}
+
+// OutputNames returns the kernel's output names in readout order: row o of
+// a RunBatchWords output block carries the o-th name.
+func (c *Compiled) OutputNames() []string {
+	outs := c.Graph.Outputs()
+	names := make([]string, len(outs))
+	for i, o := range outs {
+		names[i] = c.Graph.OutputName(o)
+	}
+	return names
 }
 
 // exec returns the pre-decoded executor, built once per Compiled.
@@ -354,11 +449,36 @@ func (c *Compiled) inputNames() []string {
 	return c.bindNames
 }
 
+// outputs resolves the kernel outputs' names and readout cells once per
+// Compiled; every batch group previously redid the layout lookups.
+func (c *Compiled) outputs() ([]string, []Place, error) {
+	c.outOnce.Do(func() {
+		outs := c.Graph.Outputs()
+		c.outNames = make([]string, len(outs))
+		c.outPlaces = make([]Place, len(outs))
+		for i, out := range outs {
+			p, err := c.result.OutputPlace(out)
+			if err != nil {
+				c.outErr = err
+				return
+			}
+			c.outNames[i] = c.Graph.OutputName(out)
+			c.outPlaces[i] = p
+		}
+	})
+	return c.outNames, c.outPlaces, c.outErr
+}
+
 // runExecGroup simulates batch[start:end) as the lanes of one lane-block
-// executor pass and unpacks the readouts into outs.
+// executor pass and unpacks the readouts into outs, reusing any non-nil
+// output maps in place.
 func (c *Compiled) runExecGroup(ex *sim.Exec, batch, outs []map[string]bool, start, end int) error {
 	lanes := end - start
 	names := c.inputNames()
+	outNames, outPlaces, err := c.outputs()
+	if err != nil {
+		return err
+	}
 	m := c.getMachine(ex)
 	defer c.machines.Put(m)
 	m.Reset(lanes)
@@ -379,17 +499,16 @@ func (c *Compiled) runExecGroup(ex *sim.Exec, batch, outs []map[string]bool, sta
 	if err := m.Run(in); err != nil {
 		return fmt.Errorf("sherlock: batch inputs [%d,%d): %w", start, end, err)
 	}
-	outputs := c.Graph.Outputs()
 	for l := 0; l < lanes; l++ {
-		outs[start+l] = make(map[string]bool, len(outputs))
-	}
-	activeWords := (lanes + sim.WordLanes - 1) / sim.WordLanes
-	for _, out := range outputs {
-		p, err := c.result.OutputPlace(out)
-		if err != nil {
-			return err
+		if om := outs[start+l]; om == nil {
+			outs[start+l] = make(map[string]bool, len(outNames))
+		} else {
+			clear(om)
 		}
-		name := c.Graph.OutputName(out)
+	}
+	activeWords := laneWords(lanes)
+	for oi, p := range outPlaces {
+		name := outNames[oi]
 		for b := 0; b < activeWords; b++ {
 			w, err := m.ReadOutWord(p, b)
 			if err != nil {
@@ -400,6 +519,41 @@ func (c *Compiled) runExecGroup(ex *sim.Exec, batch, outs []map[string]bool, sta
 			for l := lo; l < hi; l++ {
 				outs[start+l][name] = w>>uint(l-lo)&1 == 1
 			}
+		}
+	}
+	return nil
+}
+
+// runWordsGroup runs lanes [start,end) of a packed lane block through one
+// executor pass: group words copy straight from the caller's slot-major
+// block into the machine's input scratch and readout words copy straight
+// back out — no maps, no per-vector work, no allocation.
+func (c *Compiled) runWordsGroup(ex *sim.Exec, in, out []uint64, W, start, end int) error {
+	lanes := end - start
+	w0 := start / sim.WordLanes // group word offset (start is block-aligned)
+	gw := laneWords(lanes)
+	m := c.getMachine(ex)
+	defer c.machines.Put(m)
+	m.Reset(lanes)
+	inBlock := m.InputBlock()
+	B := m.BlockWords()
+	for s := range c.inputNames() {
+		copy(inBlock[s*B:s*B+gw], in[s*W+w0:s*W+w0+gw])
+	}
+	if err := m.Run(inBlock); err != nil {
+		return fmt.Errorf("sherlock: batch lanes [%d,%d): %w", start, end, err)
+	}
+	_, outPlaces, err := c.outputs()
+	if err != nil {
+		return err
+	}
+	for oi, p := range outPlaces {
+		for b := 0; b < gw; b++ {
+			w, err := m.ReadOutWord(p, b)
+			if err != nil {
+				return err
+			}
+			out[oi*W+w0+b] = w
 		}
 	}
 	return nil
@@ -448,17 +602,17 @@ func (c *Compiled) run(inputs map[string]bool, faults bool, seed int64) (map[str
 	if err := m.RunMap(words); err != nil {
 		return nil, 0, err
 	}
-	outs := make(map[string]bool, len(c.Graph.Outputs()))
-	for _, out := range c.Graph.Outputs() {
-		p, err := c.result.OutputPlace(out)
-		if err != nil {
-			return nil, 0, err
-		}
+	outNames, outPlaces, err := c.outputs()
+	if err != nil {
+		return nil, 0, err
+	}
+	outs := make(map[string]bool, len(outNames))
+	for oi, p := range outPlaces {
 		w, err := m.ReadOutWord(p, 0)
 		if err != nil {
 			return nil, 0, err
 		}
-		outs[c.Graph.OutputName(out)] = w&1 == 1
+		outs[outNames[oi]] = w&1 == 1
 	}
 	return outs, 0, nil
 }
