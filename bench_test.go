@@ -14,6 +14,7 @@ import (
 	"sherlock"
 	"sherlock/internal/aig"
 	"sherlock/internal/arraymodel"
+	"sherlock/internal/coopt"
 	"sherlock/internal/device"
 	"sherlock/internal/dfg"
 	"sherlock/internal/experiments"
@@ -792,4 +793,72 @@ func BenchmarkAblationWearLeveling(b *testing.B) {
 			b.ReportMetric(float64(maxWrites), "max_writes_per_cell")
 		})
 	}
+}
+
+// ---- Resynthesis co-optimization: AIG rewrite loop vs Algorithm 2 alone ----
+
+// benchmarkResynth runs the synthesis<->scheduling loop on a quick-setup
+// workload and reports the achieved latency against the Algorithm 2
+// baseline. The search itself is the measured cost (ns/op); the metrics
+// surface what it bought.
+func benchmarkResynth(b *testing.B, w experiments.Workload, portfolio [][]coopt.PassKind) {
+	r := experiments.NewRunner(experiments.QuickSetup())
+	g, err := r.Graph(w, 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 256
+	tech := device.STTMRAM
+	model := arraymodel.New(arraymodel.DefaultConfig(tech, size))
+	params := device.ParamsFor(tech)
+	evaluate := func(g *dfg.Graph) (*mapping.Result, error) {
+		return mapping.Optimized(g, mapping.Options{
+			Target: layout.Target{Arrays: 4, Rows: size, Cols: size},
+		})
+	}
+	base, err := evaluate(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseCost, err := sim.Measure(base.Program, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var optNS float64
+	for i := 0; i < b.N; i++ {
+		res, err := coopt.Optimize(g, coopt.Config{
+			MaxRows:   params.MaxRows,
+			Portfolio: portfolio,
+			Evaluate:  evaluate,
+			Score: func(m *mapping.Result) (coopt.Score, error) {
+				return coopt.ScoreMapped(m, model, params)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost, err := sim.Measure(res.Mapped.Program, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		optNS = cost.LatencyNS
+	}
+	b.ReportMetric(baseCost.LatencyNS/1e3, "alg2_us")
+	b.ReportMetric(optNS/1e3, "coopt_us")
+	if optNS > 0 {
+		b.ReportMetric(baseCost.LatencyNS/optNS, "speedup")
+	}
+}
+
+func BenchmarkResynthSobel(b *testing.B) {
+	benchmarkResynth(b, experiments.Sobel, nil) // nil = full portfolio
+}
+
+func BenchmarkResynthSobelBalanceOnly(b *testing.B) {
+	benchmarkResynth(b, experiments.Sobel, coopt.PortfolioBalance())
+}
+
+func BenchmarkResynthAES(b *testing.B) {
+	benchmarkResynth(b, experiments.AES, nil)
 }

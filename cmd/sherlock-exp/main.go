@@ -2,8 +2,13 @@
 //
 // Usage:
 //
-//	sherlock-exp -exp table2|fig2b|fig6|fig7|all [-quick] [-parallel N]
-//	             [-fig6-size 256] [-fig7-sizes 128,256,512,1024]
+//	sherlock-exp -exp table2|fig2b|fig6|fig7|mc|resynth|all [-quick] [-parallel N]
+//	             [-fig6-size 256] [-fig7-sizes 128,256,512,1024] [-resynth-size 512]
+//
+// -exp resynth runs the synthesis↔scheduling co-optimization ablation
+// (Algorithm 2 alone vs balance-only vs the full pass portfolio); it is
+// opt-in and not part of -exp all because the search compiles each
+// workload many times.
 //
 // -quick shrinks the kernels (2-round AES, small tiles) for fast runs;
 // the default regenerates the full-scale campaign (complete AES-128),
@@ -28,11 +33,12 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc or all")
+		exp        = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc, resynth or all")
 		quick      = flag.Bool("quick", false, "shrunken kernels for fast iteration")
 		fig6Size   = flag.Int("fig6-size", 256, "array dimension for the Fig. 6 sweep")
 		mcRuns     = flag.Int("mc-runs", 400, "fault-injected runs per Monte-Carlo validation row")
 		fig7Sizes  = flag.String("fig7-sizes", "128,256,512,1024", "array dimensions for Fig. 7")
+		resynSize  = flag.Int("resynth-size", 512, "array dimension for the resynthesis ablation")
 		parallel   = flag.Int("parallel", 0, "campaign worker pool size (0 = all cores); results are identical for every setting")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -130,6 +136,24 @@ func main() {
 		fmt.Print(experiments.RenderFig7(rows))
 		return nil
 	})
+	// The resynthesis ablation is opt-in only (-exp resynth): the
+	// co-optimization search compiles each workload many times and is not
+	// part of the paper's standard campaign, so "all" skips it.
+	if *exp == "resynth" {
+		run("resynth", func() error {
+			start := time.Now()
+			rows, err := experiments.Resynth(r, device.STTMRAM, *resynSize)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			fmt.Print(experiments.RenderResynth(rows))
+			// Timing goes to stderr: stdout stays byte-identical across
+			// runs and -parallel settings.
+			fmt.Fprintf(os.Stderr, "resynthesis search completed in %v\n", elapsed.Round(time.Millisecond))
+			return nil
+		})
+	}
 }
 
 func parseSizes(s string) ([]int, error) {

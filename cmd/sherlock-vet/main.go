@@ -58,6 +58,8 @@ var defaultDirs = []string{
 	"internal/serve",
 	"internal/memo",
 	"internal/pool",
+	"internal/aig",
+	"internal/coopt",
 }
 
 func main() {

@@ -6,7 +6,12 @@
 //
 //	sherlock -in kernel.c [-tech STT-MRAM|ReRAM|PCM] [-size 512]
 //	         [-mapper naive|opt] [-mra] [-mra-fraction 1.0] [-nand]
-//	         [-o program.cim] [-stats]
+//	         [-optimize] [-optimize-iters 4] [-o program.cim] [-stats]
+//
+// -optimize lifts the kernel into an and-inverter graph and runs the
+// synthesis↔scheduling co-optimization loop before mapping; every adopted
+// candidate is equivalence-checked and verifier-gated, and the Algorithm 2
+// baseline is kept whenever no candidate beats it.
 //
 // With no -o the program is written to stdout.
 package main
@@ -36,6 +41,8 @@ func main() {
 		timeline = flag.String("timeline", "", "write the parallel execution timeline CSV here")
 		outPath  = flag.String("o", "", "write the program here (default: stdout)")
 		stats    = flag.Bool("stats", false, "print mapping, cost and reliability statistics to stderr")
+		optimize = flag.Bool("optimize", false, "resynthesize the kernel (AIG rewrite loop) before mapping")
+		optIters = flag.Int("optimize-iters", 4, "candidate-generation rounds for -optimize")
 	)
 	flag.Parse()
 
@@ -66,6 +73,8 @@ func main() {
 		NANDLowering:       *nand,
 		RecycleRows:        *recycle,
 		WearLeveling:       *recycle, // recycled rows rotate for endurance
+		Resynthesize:       *optimize,
+		ResynthIterations:  *optIters,
 	})
 	if err != nil {
 		fatal(err)
@@ -110,6 +119,15 @@ func main() {
 		st := c.Graph.ComputeStats()
 		fmt.Fprintf(os.Stderr, "DFG: %d ops, %d operands, critical path %d\n",
 			st.Ops, st.Operands, st.CriticalPath)
+		if rs := c.Resynth; rs != nil {
+			if rs.Improved {
+				fmt.Fprintf(os.Stderr, "resynth: improved, objective %.4f, ANDs %d -> %d, %d evaluations (%d cached), %d rejected\n",
+					rs.BestObjective, rs.AndsBefore, rs.AndsAfter, rs.Evaluations, rs.CacheHits, rs.Rejected)
+			} else {
+				fmt.Fprintf(os.Stderr, "resynth: kept Algorithm 2 baseline, %d evaluations (%d cached), %d rejected\n",
+					rs.Evaluations, rs.CacheHits, rs.Rejected)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "mapping: %d instructions, %d copies, %d columns",
 			c.Stats.Instructions, c.Stats.Copies, c.Stats.ColumnsUsed)
 		if c.Stats.Clusters > 0 {

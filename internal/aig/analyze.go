@@ -1,0 +1,128 @@
+package aig
+
+// Structural analysis shared by the resynthesis passes: XOR-pattern
+// detection, cone membership and reference counting over the "effective"
+// netlist view in which a matched XOR node points straight at its two
+// fanin literals instead of at the pair of internal ANDs encoding it.
+
+// matchXor recognizes the canonical two-level AND encoding of XOR:
+//
+//	n = AND(¬A, ¬B),  A = AND(u, w),  B = AND(¬u, ¬w)
+//
+// and reports n = u XOR w (as literals, complements included). Strash
+// guarantees A and B have distinct, non-constant children, so a match is
+// exact — no truth-table check is needed.
+func (g *Graph) matchXor(n uint32) (u, w Lit, ok bool) {
+	nd := g.nodes[n]
+	if nd.kind != kindAnd || !nd.a.complement() || !nd.b.complement() {
+		return 0, 0, false
+	}
+	an, bn := nd.a.node(), nd.b.node()
+	na, nb := g.nodes[an], g.nodes[bn]
+	if na.kind != kindAnd || nb.kind != kindAnd {
+		return 0, 0, false
+	}
+	if (nb.a == na.a.Not() && nb.b == na.b.Not()) ||
+		(nb.a == na.b.Not() && nb.b == na.a.Not()) {
+		return na.a, na.b, true
+	}
+	return 0, 0, false
+}
+
+// netinfo is the effective-netlist view of the cones feeding outs.
+type netinfo struct {
+	isXor  []bool // node is a matched XOR encoding
+	xorU   []Lit  // matched XOR fanins (valid when isXor)
+	xorW   []Lit
+	inCone []bool  // node is reachable from outs via effective edges
+	refs   []int32 // effective in-cone reference count (outputs included)
+}
+
+// analyzeNet detects XOR encodings and counts cone references over the
+// effective edges: a matched XOR node references its two fanin nodes, not
+// the internal AND pair (which joins the cone only if referenced from
+// elsewhere).
+func analyzeNet(g *Graph, outs []Lit) *netinfo {
+	n := len(g.nodes)
+	ni := &netinfo{
+		isXor:  make([]bool, n),
+		xorU:   make([]Lit, n),
+		xorW:   make([]Lit, n),
+		inCone: make([]bool, n),
+		refs:   make([]int32, n),
+	}
+	first := 1 + g.nInputs
+	for i := first; i < n; i++ {
+		if u, w, ok := g.matchXor(uint32(i)); ok {
+			ni.isXor[i], ni.xorU[i], ni.xorW[i] = true, u, w
+		}
+	}
+	var visit func(m uint32)
+	visit = func(m uint32) {
+		if ni.inCone[m] {
+			return
+		}
+		ni.inCone[m] = true
+		nd := g.nodes[m]
+		if nd.kind != kindAnd {
+			return
+		}
+		var ea, eb Lit
+		if ni.isXor[m] {
+			ea, eb = ni.xorU[m], ni.xorW[m]
+		} else {
+			ea, eb = nd.a, nd.b
+		}
+		ni.refs[ea.node()]++
+		visit(ea.node())
+		ni.refs[eb.node()]++
+		visit(eb.node())
+	}
+	for _, o := range outs {
+		ni.refs[o.node()]++
+		visit(o.node())
+	}
+	return ni
+}
+
+// rawCone marks the nodes reachable from outs over raw AND edges and
+// counts raw references (outputs included).
+func rawCone(g *Graph, outs []Lit) (inCone []bool, refs []int32) {
+	n := len(g.nodes)
+	inCone = make([]bool, n)
+	refs = make([]int32, n)
+	var visit func(m uint32)
+	visit = func(m uint32) {
+		if inCone[m] {
+			return
+		}
+		inCone[m] = true
+		nd := g.nodes[m]
+		if nd.kind != kindAnd {
+			return
+		}
+		refs[nd.a.node()]++
+		visit(nd.a.node())
+		refs[nd.b.node()]++
+		visit(nd.b.node())
+	}
+	for _, o := range outs {
+		refs[o.node()]++
+		visit(o.node())
+	}
+	return inCone, refs
+}
+
+// ConeSize returns the number of AND nodes reachable from outs — the
+// circuit size metric the resynthesis passes optimize (dead nodes left
+// behind by rewrites do not count).
+func ConeSize(g *Graph, outs []Lit) int {
+	inCone, _ := rawCone(g, outs)
+	size := 0
+	for i := 1 + g.nInputs; i < len(g.nodes); i++ {
+		if inCone[i] && g.nodes[i].kind == kindAnd {
+			size++
+		}
+	}
+	return size
+}

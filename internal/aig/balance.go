@@ -1,0 +1,134 @@
+package aig
+
+// Balance rebuilds the cones feeding outs with depth-minimal AND and XOR
+// trees: maximal single-fanout same-kind chains are flattened into leaf
+// lists and recombined greedily, always pairing the two shallowest
+// operands (the Huffman construction, optimal for tree depth). Shared
+// nodes (fanout > 1) and polarity boundaries stay put, so no logic is
+// duplicated. Returns the rebuilt graph and the remapped output literals.
+func Balance(g *Graph, outs []Lit) (*Graph, []Lit) {
+	ni := analyzeNet(g, outs)
+	ng := New(g.nInputs)
+	depth := make([]int32, 1+g.nInputs, len(g.nodes))
+	// depthOf fills depths lazily for nodes the wrapped constructors (Xor,
+	// Or) created behind our back; children always precede parents, so their
+	// depths are already recorded when index i is filled.
+	depthOf := func(l Lit) int32 {
+		for len(depth) < len(ng.nodes) {
+			nd := ng.nodes[len(depth)]
+			var d int32
+			if nd.kind == kindAnd {
+				d = 1 + max(depth[nd.a.node()], depth[nd.b.node()])
+			}
+			depth = append(depth, d)
+		}
+		return depth[l.node()]
+	}
+
+	remap := make([]Lit, len(g.nodes))
+	have := make([]bool, len(g.nodes))
+	for i := 0; i < g.nInputs; i++ {
+		remap[1+i], have[1+i] = ng.Input(i), true
+	}
+	remap[0], have[0] = Const0, true
+
+	type leaf struct {
+		l   Lit // remapped, positive for XOR leaves
+		seq int // flattening order, the deterministic tie-break
+	}
+	combine := func(leaves []leaf, join func(a, b Lit) Lit) Lit {
+		for len(leaves) > 1 {
+			// Pick the two shallowest (earliest-flattened on ties).
+			better := func(i, j int) bool {
+				di, dj := depthOf(leaves[i].l), depthOf(leaves[j].l)
+				if di != dj {
+					return di < dj
+				}
+				return leaves[i].seq < leaves[j].seq
+			}
+			lo, hi := 0, 1
+			if better(hi, lo) {
+				lo, hi = hi, lo
+			}
+			for i := 2; i < len(leaves); i++ {
+				if better(i, lo) {
+					lo, hi = i, lo
+				} else if better(i, hi) {
+					hi = i
+				}
+			}
+			a, b := leaves[lo], leaves[hi]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			leaves[lo] = leaf{l: join(a.l, b.l), seq: min(a.seq, b.seq)}
+			leaves[hi] = leaves[len(leaves)-1]
+			leaves = leaves[:len(leaves)-1]
+		}
+		return leaves[0].l
+	}
+
+	var emit func(m uint32) Lit
+	emit = func(m uint32) Lit {
+		if have[m] {
+			return remap[m]
+		}
+		var out Lit
+		if ni.isXor[m] {
+			// Flatten the maximal single-fanout XOR chain; complements on
+			// absorbed edges fold into one parity bit.
+			var leaves []leaf
+			parity := false
+			var flat func(e Lit)
+			flat = func(e Lit) {
+				c := e.node()
+				if ni.isXor[c] && ni.refs[c] == 1 {
+					parity = parity != e.complement()
+					flat(ni.xorU[c])
+					flat(ni.xorW[c])
+					return
+				}
+				parity = parity != e.complement()
+				leaves = append(leaves, leaf{l: emit(c), seq: len(leaves)})
+			}
+			flat(ni.xorU[m])
+			flat(ni.xorW[m])
+			out = combine(leaves, ng.Xor)
+			if parity {
+				out = out.Not()
+			}
+		} else {
+			nd := g.nodes[m]
+			var leaves []leaf
+			var flat func(e Lit)
+			flat = func(e Lit) {
+				c := e.node()
+				if !e.complement() && g.nodes[c].kind == kindAnd &&
+					!ni.isXor[c] && ni.refs[c] == 1 {
+					flat(g.nodes[c].a)
+					flat(g.nodes[c].b)
+					return
+				}
+				l := emit(c)
+				if e.complement() {
+					l = l.Not()
+				}
+				leaves = append(leaves, leaf{l: l, seq: len(leaves)})
+			}
+			flat(nd.a)
+			flat(nd.b)
+			out = combine(leaves, ng.And)
+		}
+		remap[m], have[m] = out, true
+		return out
+	}
+	newOuts := make([]Lit, len(outs))
+	for i, o := range outs {
+		l := emit(o.node())
+		if o.complement() {
+			l = l.Not()
+		}
+		newOuts[i] = l
+	}
+	return ng, newOuts
+}

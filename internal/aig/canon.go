@@ -1,0 +1,102 @@
+package aig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Fingerprint returns a canonical content hash of the logic cones feeding
+// outs. Nodes are renumbered by a depth-first postorder walk from the
+// outputs (children before parents, fanin a before fanin b), so the hash
+// depends only on the reachable structure and the output order — not on
+// construction order, dead nodes, or strash-table state. Two graphs built
+// by different pass pipelines that converge to the same cones fingerprint
+// identically, which is what the co-optimizer's candidate cache keys on.
+func (g *Graph) Fingerprint(outs []Lit) [32]byte {
+	h := sha256.New()
+	var buf [3 * binary.MaxVarintLen64]byte
+	emit := func(tag byte, a, b uint64) {
+		buf[0] = tag
+		n := 1 + binary.PutUvarint(buf[1:], a)
+		n += binary.PutUvarint(buf[n:], b)
+		h.Write(buf[:n])
+	}
+	id := make([]int64, len(g.nodes))
+	for i := range id {
+		id[i] = -1
+	}
+	next := int64(0)
+	var visit func(n uint32) uint64
+	visit = func(n uint32) uint64 {
+		if id[n] >= 0 {
+			return uint64(id[n])
+		}
+		nd := g.nodes[n]
+		switch nd.kind {
+		case kindConst:
+			emit('C', 0, 0)
+		case kindInput:
+			emit('I', uint64(nd.input), 0)
+		case kindAnd:
+			ia := visit(nd.a.node())<<1 | uint64(nd.a&1)
+			ib := visit(nd.b.node())<<1 | uint64(nd.b&1)
+			emit('A', ia, ib)
+		}
+		id[n] = next
+		next++
+		return uint64(id[n])
+	}
+	for _, o := range outs {
+		io := visit(o.node())<<1 | uint64(o&1)
+		emit('O', io, 0)
+	}
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// checkpoint marks the current graph size so a speculative build can be
+// undone with rollback.
+type checkpoint int
+
+func (g *Graph) mark() checkpoint { return checkpoint(len(g.nodes)) }
+
+// rollback removes every node created since the checkpoint, unhooking its
+// strash entry. Only valid while no surviving literal references the
+// removed nodes and Synthesize (whose memo would retain them) has not run
+// since the mark — the rewriting passes' speculative candidate builds
+// satisfy both by construction.
+func (g *Graph) rollback(m checkpoint) {
+	for i := int(m); i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		delete(g.strash, [2]Lit{nd.a, nd.b})
+	}
+	g.nodes = g.nodes[:m]
+}
+
+// SynthesizeOnto builds a circuit computing the truth table over arbitrary
+// leaf literals (table variable v = leaves[v]) by memoized Shannon
+// decomposition, sharing equal subfunctions within the call. Unlike
+// Synthesize it never touches the graph-global memo, so it composes with
+// mark/rollback.
+func (g *Graph) SynthesizeOnto(t TT, leaves []Lit) Lit {
+	if t.n != len(leaves) {
+		panic("aig: SynthesizeOnto arity mismatch")
+	}
+	memo := make(map[string]Lit)
+	var syn func(t TT) Lit
+	syn = func(t TT) Lit {
+		if c, v := t.isConst(); c {
+			return g.Const(v)
+		}
+		key := t.key()
+		if l, ok := memo[key]; ok {
+			return l
+		}
+		lo, hi := t.cofactors()
+		l := g.Mux(leaves[t.n-1], syn(hi), syn(lo))
+		memo[key] = l
+		return l
+	}
+	return syn(t)
+}

@@ -1,0 +1,228 @@
+package aig
+
+// NPN canonicalization of 4-variable functions and the class library the
+// rewrite pass instantiates from. The canonical representative of a class
+// is the lexicographically smallest table reachable by permuting inputs,
+// complementing inputs and complementing the output; the transform that
+// reaches it is kept so a library implementation of the representative can
+// be instantiated for any class member:
+//
+//	canon(y) = f(x) ⊕ outFlip,  with  x[perm[i]] = y[i] ⊕ mask_i
+//
+// so feeding the implementation canonLits[i] = leaves[perm[i]] ⊕ mask_i
+// and flipping its output by outFlip reproduces f(leaves) exactly.
+
+type npnTransform struct {
+	perm    [4]uint8
+	mask    uint8
+	outFlip bool
+}
+
+type npnEntry struct {
+	canon uint16
+	tf    npnTransform
+}
+
+// recipe is a library implementation of a canonical representative: a tiny
+// 4-input scratch AIG plus its output literal. Instantiation replays its
+// AND nodes onto the target graph.
+type recipe struct {
+	g    *Graph
+	out  Lit
+	cost int // AND count, for reporting
+}
+
+type npnLibrary struct {
+	canon   map[uint16]npnEntry // function table -> canonical class + transform
+	recipes map[uint16]*recipe  // canonical table -> implementation
+	learned int
+}
+
+var perms4 = allPerms4()
+
+func allPerms4() [][4]uint8 {
+	var out [][4]uint8
+	var rec func(cur []uint8, used [4]bool)
+	rec = func(cur []uint8, used [4]bool) {
+		if len(cur) == 4 {
+			out = append(out, [4]uint8{cur[0], cur[1], cur[2], cur[3]})
+			return
+		}
+		for v := uint8(0); v < 4; v++ {
+			if !used[v] {
+				used[v] = true
+				rec(append(cur, v), used)
+				used[v] = false
+			}
+		}
+	}
+	rec(nil, [4]bool{})
+	return out
+}
+
+// npnApply computes c where c(y) = t(x), x[perm[i]] = y[i] ⊕ mask_i.
+func npnApply(t uint16, perm [4]uint8, mask uint8) uint16 {
+	var c uint16
+	for y := 0; y < 16; y++ {
+		x := 0
+		for i := 0; i < 4; i++ {
+			bit := (y>>i ^ int(mask)>>i) & 1
+			x |= bit << perm[i]
+		}
+		if t>>x&1 == 1 {
+			c |= 1 << y
+		}
+	}
+	return c
+}
+
+// canonicalize finds the class representative of t, memoized per library.
+func (lib *npnLibrary) canonicalize(t uint16) npnEntry {
+	if e, ok := lib.canon[t]; ok {
+		return e
+	}
+	best := npnEntry{canon: 0xFFFF, tf: npnTransform{perm: [4]uint8{0, 1, 2, 3}}}
+	first := true
+	for _, perm := range perms4 {
+		for mask := 0; mask < 16; mask++ {
+			c := npnApply(t, perm, uint8(mask))
+			if first || c < best.canon {
+				best = npnEntry{canon: c, tf: npnTransform{perm: perm, mask: uint8(mask)}}
+				first = false
+			}
+			if nc := ^c; nc < best.canon {
+				best = npnEntry{canon: nc, tf: npnTransform{perm: perm, mask: uint8(mask), outFlip: true}}
+			}
+		}
+	}
+	lib.canon[t] = best
+	return best
+}
+
+// newNPNLibrary seeds the library with hand-optimal implementations for
+// classes where Shannon decomposition is suboptimal (majority-3 costs 4
+// ANDs, Shannon's mux cascade 5); everything else is learned on first
+// encounter via memoized Shannon synthesis on a scratch graph.
+func newNPNLibrary() *npnLibrary {
+	lib := &npnLibrary{
+		canon:   make(map[uint16]npnEntry),
+		recipes: make(map[uint16]*recipe),
+	}
+	// MAJ3(a,b,c) = ab ∨ c(a ∨ b): 4 ANDs.
+	lib.seed(func(g *Graph, x [4]Lit) Lit {
+		a, b, c := x[0], x[1], x[2]
+		return g.Or(g.And(a, b), g.And(c, g.Or(a, b)))
+	})
+	// One-level carry mix a ⊕ bc (Shannon spends 5 ANDs, 4 suffice).
+	lib.seed(func(g *Graph, x [4]Lit) Lit {
+		return g.Xor(x[0], g.And(x[1], x[2]))
+	})
+	return lib
+}
+
+// seed registers a hand construction (built over explicit x-literals) under
+// its class representative: one probe build reads off the function, a second
+// build re-expresses it as the canonical representative.
+func (lib *npnLibrary) seed(build func(*Graph, [4]Lit) Lit) {
+	probe := New(4)
+	f := truthOf(probe, build(probe, [4]Lit{probe.Input(0), probe.Input(1), probe.Input(2), probe.Input(3)}))
+	e := lib.canonicalize(f)
+	rg := New(4)
+	// canon(y) = f(x)⊕outFlip with x[perm[i]] = y[i]⊕mask: wire the
+	// construction's x-inputs from the representative's y-inputs.
+	var xs [4]Lit
+	for i := 0; i < 4; i++ {
+		l := rg.Input(i)
+		if e.tf.mask>>i&1 == 1 {
+			l = l.Not()
+		}
+		xs[e.tf.perm[i]] = l
+	}
+	out := build(rg, xs)
+	if e.tf.outFlip {
+		out = out.Not()
+	}
+	if truthOf(rg, out) != e.canon {
+		panic("aig: npn seed does not reproduce its canonical class")
+	}
+	lib.recipes[e.canon] = &recipe{g: rg, out: out, cost: rg.NumAnds()}
+}
+
+// truthOf samples a 4-input graph literal into a table.
+func truthOf(g *Graph, l Lit) uint16 {
+	var t uint16
+	in := make([]bool, 4)
+	for a := 0; a < 16; a++ {
+		for i := 0; i < 4; i++ {
+			in[i] = a>>i&1 == 1
+		}
+		if g.Eval(l, in) {
+			t |= 1 << a
+		}
+	}
+	return t
+}
+
+// build instantiates the class implementation of table t onto g over the
+// given leaf literals, returning the output literal and how many AND nodes
+// the instantiation actually created (after strash).
+func (lib *npnLibrary) build(g *Graph, t uint16, leaves []Lit) (Lit, int) {
+	e := lib.canonicalize(t)
+	rec, ok := lib.recipes[e.canon]
+	if !ok {
+		// Learn the class: Shannon-synthesize the representative once on a
+		// scratch graph; the memoized decomposition shares subfunctions.
+		rg := New(4)
+		out := rg.SynthesizeOnto(ttFromWord(e.canon, 4), []Lit{rg.Input(0), rg.Input(1), rg.Input(2), rg.Input(3)})
+		rec = &recipe{g: rg, out: out, cost: rg.NumAnds()}
+		lib.recipes[e.canon] = rec
+		lib.learned++
+	}
+	// canonLits[i] = leaves[perm[i]] ⊕ mask_i (pad short leaf lists with
+	// constants — the representative cannot depend on those positions).
+	var canonLits [4]Lit
+	for i := 0; i < 4; i++ {
+		src := int(e.tf.perm[i])
+		l := Const0
+		if src < len(leaves) {
+			l = leaves[src]
+		}
+		if e.tf.mask>>i&1 == 1 {
+			l = l.Not()
+		}
+		canonLits[i] = l
+	}
+	before := len(g.nodes)
+	vals := make([]Lit, len(rec.g.nodes))
+	vals[0] = Const0
+	for i := 0; i < 4; i++ {
+		vals[1+i] = canonLits[i]
+	}
+	mapLit := func(l Lit) Lit {
+		v := vals[l.node()]
+		if l.complement() {
+			v = v.Not()
+		}
+		return v
+	}
+	for i := 5; i < len(rec.g.nodes); i++ {
+		nd := rec.g.nodes[i]
+		vals[i] = g.And(mapLit(nd.a), mapLit(nd.b))
+	}
+	out := mapLit(rec.out)
+	if e.tf.outFlip {
+		out = out.Not()
+	}
+	return out, len(g.nodes) - before
+}
+
+// ttFromWord expands a packed table into a TT value.
+func ttFromWord(t uint16, n int) TT {
+	tt := NewTT(n)
+	for i := uint(0); i < 1<<uint(n); i++ {
+		if t>>i&1 == 1 {
+			tt.Set(i, true)
+		}
+	}
+	return tt
+}

@@ -1,0 +1,194 @@
+package aig
+
+import "sort"
+
+// Refactor collapses each maximum fanout-free cone (MFFC) in the net into
+// its truth table over the cone's leaf boundary and resynthesizes it by
+// memoized Shannon decomposition, keeping the new structure only when it is
+// strictly smaller than the cone it replaces. Where rewrite works on fixed
+// 4-input cuts, refactor attacks larger single-output regions (up to
+// refactorMaxLeaves leaves), so the two passes find different redundancy.
+const refactorMaxLeaves = 8
+
+// RefactorStats summarizes one Refactor pass.
+type RefactorStats struct {
+	Tried      int // MFFCs evaluated for collapse
+	Collapses  int // accepted resyntheses
+	NodesSaved int // sum of (MFFC size − resynthesized size) over accepts
+}
+
+// Refactor rebuilds the cones feeding outs. Only MFFC roots (shared nodes
+// and output drivers) are emitted; interior single-fanout nodes are either
+// swallowed by an accepted collapse or copied structurally with the rest of
+// their cone. Returns the new graph, remapped outputs and pass stats.
+func Refactor(g *Graph, outs []Lit) (*Graph, []Lit, RefactorStats) {
+	inCone, refs := rawCone(g, outs)
+	n := len(g.nodes)
+	first := 1 + g.nInputs
+	outDriven := make([]bool, n)
+	for _, o := range outs {
+		outDriven[o.node()] = true
+	}
+
+	ng := New(g.nInputs)
+	remap := make([]Lit, n)
+	have := make([]bool, n)
+	remap[0], have[0] = Const0, true
+	for i := 0; i < g.nInputs; i++ {
+		remap[1+i], have[1+i] = ng.Input(i), true
+	}
+	var stats RefactorStats
+
+	var emitCopy func(x uint32) Lit
+	emitCopy = func(x uint32) Lit {
+		if have[x] {
+			return remap[x]
+		}
+		nd := g.nodes[x]
+		a := emitCopy(nd.a.node())
+		if nd.a.complement() {
+			a = a.Not()
+		}
+		b := emitCopy(nd.b.node())
+		if nd.b.complement() {
+			b = b.Not()
+		}
+		l := ng.And(a, b)
+		remap[x], have[x] = l, true
+		return l
+	}
+
+	inMffc := make([]bool, n)
+	for m := uint32(first); m < uint32(n); m++ {
+		if !inCone[m] {
+			continue
+		}
+		if refs[m] <= 1 && !outDriven[m] {
+			continue // interior of some later root's MFFC
+		}
+
+		// Collect the MFFC: nodes whose reference count falls to zero when m
+		// is removed. The deref walk is mirrored by reref to restore refs.
+		var mffc []uint32
+		var deref func(x uint32)
+		deref = func(x uint32) {
+			mffc = append(mffc, x)
+			inMffc[x] = true
+			nd := g.nodes[x]
+			for _, e := range [2]Lit{nd.a, nd.b} {
+				cn := e.node()
+				if g.nodes[cn].kind != kindAnd {
+					continue
+				}
+				refs[cn]--
+				if refs[cn] == 0 {
+					deref(cn)
+				}
+			}
+		}
+		var reref func(x uint32)
+		reref = func(x uint32) {
+			nd := g.nodes[x]
+			for _, e := range [2]Lit{nd.a, nd.b} {
+				cn := e.node()
+				if g.nodes[cn].kind != kindAnd {
+					continue
+				}
+				if refs[cn] == 0 {
+					reref(cn)
+				}
+				refs[cn]++
+			}
+		}
+		deref(m)
+		reref(m)
+		sort.Slice(mffc, func(i, j int) bool { return mffc[i] < mffc[j] })
+
+		// Leaf boundary: children referenced from inside that did not die.
+		var leaves []uint32
+		for _, x := range mffc {
+			nd := g.nodes[x]
+			for _, e := range [2]Lit{nd.a, nd.b} {
+				if cn := e.node(); !inMffc[cn] {
+					leaves = append(leaves, cn)
+				}
+			}
+		}
+		sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+		uniq := leaves[:0]
+		for _, l := range leaves {
+			if len(uniq) == 0 || uniq[len(uniq)-1] != l {
+				uniq = append(uniq, l)
+			}
+		}
+		leaves = uniq
+		for _, x := range mffc {
+			inMffc[x] = false
+		}
+		nl := len(leaves)
+		if len(mffc) < 2 || nl < 1 || nl > refactorMaxLeaves {
+			emitCopy(m)
+			continue
+		}
+
+		// Word-parallel truth-table simulation of the cone over its leaves.
+		nw := 1
+		if nl > 6 {
+			nw = 1 << (nl - 6)
+		}
+		val := make(map[uint32][]uint64, nl+len(mffc))
+		for vi, leafN := range leaves {
+			w := make([]uint64, nw)
+			for a := 0; a < 1<<nl; a++ {
+				if a>>vi&1 == 1 {
+					w[a>>6] |= 1 << (a & 63)
+				}
+			}
+			val[leafN] = w
+		}
+		for _, x := range mffc {
+			nd := g.nodes[x]
+			wa, wb := val[nd.a.node()], val[nd.b.node()]
+			w := make([]uint64, nw)
+			for k := range w {
+				a, b := wa[k], wb[k]
+				if nd.a.complement() {
+					a = ^a
+				}
+				if nd.b.complement() {
+					b = ^b
+				}
+				w[k] = a & b
+			}
+			val[x] = w
+		}
+		wm := val[m]
+		tt := TTFromFunc(nl, func(a uint) bool { return wm[a>>6]>>(a&63)&1 == 1 })
+
+		leafLits := make([]Lit, nl)
+		for i, ln := range leaves {
+			leafLits[i] = remap[ln] // leaves are inputs or earlier roots
+		}
+		stats.Tried++
+		cp := ng.mark()
+		lit := ng.SynthesizeOnto(tt, leafLits)
+		if added := int(ng.mark() - cp); added < len(mffc) {
+			remap[m], have[m] = lit, true
+			stats.Collapses++
+			stats.NodesSaved += len(mffc) - added
+			continue
+		}
+		ng.rollback(cp)
+		emitCopy(m)
+	}
+
+	newOuts := make([]Lit, len(outs))
+	for i, o := range outs {
+		l := remap[o.node()]
+		if o.complement() {
+			l = l.Not()
+		}
+		newOuts[i] = l
+	}
+	return ng, newOuts, stats
+}

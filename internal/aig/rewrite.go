@@ -1,0 +1,297 @@
+package aig
+
+import "sort"
+
+// DAG-aware 4-input cut rewriting (the ABC "rewrite" idea, sized for this
+// repo): enumerate small cuts bottom-up, canonicalize each cut function
+// into its NPN class, and replace the cut's cone with the class library's
+// implementation whenever that saves more AND nodes (the cut's MFFC) than
+// it adds after structural hashing. Candidate implementations are built
+// speculatively and rolled back when rejected, so losing trials leave no
+// residue in the new graph.
+
+const (
+	cutsPerNode  = 6 // enumeration cap per node (plus the trivial cut)
+	cutMaxLeaves = 4
+)
+
+type cut struct {
+	leaves [cutMaxLeaves]uint32 // ascending node indices
+	n      uint8
+}
+
+// add unions more leaves into the sorted set; false if that would exceed
+// the leaf cap.
+func (c *cut) add(leafSet []uint32) bool {
+	for _, l := range leafSet {
+		i := 0
+		for i < int(c.n) && c.leaves[i] < l {
+			i++
+		}
+		if i < int(c.n) && c.leaves[i] == l {
+			continue
+		}
+		if int(c.n) == cutMaxLeaves {
+			return false
+		}
+		for j := int(c.n); j > i; j-- {
+			c.leaves[j] = c.leaves[j-1]
+		}
+		c.leaves[i] = l
+		c.n++
+	}
+	return true
+}
+
+// RewriteStats summarizes one Rewrite pass.
+type RewriteStats struct {
+	Rewrites   int // accepted cut replacements
+	NodesSaved int // sum of (MFFC − added) over accepted replacements
+	Classes    int // distinct NPN classes canonicalized
+	Learned    int // classes synthesized into the library this pass
+}
+
+// Rewrite rebuilds the cones feeding outs, applying the best
+// strictly-improving cut replacement at every node (first-found on ties,
+// deterministic). Returns the new graph, remapped outputs and pass stats.
+func Rewrite(g *Graph, outs []Lit) (*Graph, []Lit, RewriteStats) {
+	inCone, refs := rawCone(g, outs)
+	ng := New(g.nInputs)
+	lib := newNPNLibrary()
+	var stats RewriteStats
+
+	n := len(g.nodes)
+	first := 1 + g.nInputs
+	remap := make([]Lit, n)
+	for i := 0; i < g.nInputs; i++ {
+		remap[1+i] = ng.Input(i)
+	}
+	cuts := make([][]cut, n)
+	for i := 1; i < first; i++ {
+		if inCone[i] {
+			cuts[i] = []cut{{leaves: [cutMaxLeaves]uint32{uint32(i)}, n: 1}}
+		}
+	}
+
+	ttMemo := make(map[uint32]uint16, 32)
+	var cutTT func(m uint32, c *cut) uint16
+	cutTT = func(m uint32, c *cut) uint16 {
+		if t, ok := ttMemo[m]; ok {
+			return t
+		}
+		for i := 0; i < int(c.n); i++ {
+			if c.leaves[i] == m {
+				ttMemo[m] = projTT[i]
+				return projTT[i]
+			}
+		}
+		nd := g.nodes[m]
+		ta := cutTT(nd.a.node(), c)
+		if nd.a.complement() {
+			ta = ^ta
+		}
+		tb := cutTT(nd.b.node(), c)
+		if nd.b.complement() {
+			tb = ^tb
+		}
+		t := ta & tb
+		ttMemo[m] = t
+		return t
+	}
+
+	for m := uint32(first); m < uint32(n); m++ {
+		if !inCone[m] {
+			continue
+		}
+		nd := g.nodes[m]
+		an, bn := nd.a.node(), nd.b.node()
+
+		// Merge child cuts (every pair whose union stays ≤ 4 leaves).
+		var cands []cut
+		for _, ca := range cuts[an] {
+			for _, cb := range cuts[bn] {
+				merged := ca
+				if !merged.add(cb.leaves[:cb.n]) {
+					continue
+				}
+				dup := false
+				for _, prev := range cands {
+					if prev.n == merged.n && prev.leaves == merged.leaves {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cands = append(cands, merged)
+				}
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].n < cands[j].n })
+		if len(cands) > cutsPerNode {
+			cands = cands[:cutsPerNode]
+		}
+
+		// Try each cut; keep the best strict node-count improvement. Losing
+		// speculative builds roll back; a superseded earlier winner merely
+		// goes dead (it is outside the final cone).
+		bestGain := 0
+		var bestLit Lit
+		for ci := range cands {
+			c := &cands[ci]
+			if int(c.n) < 2 {
+				continue
+			}
+			clear(ttMemo)
+			t := cutTT(m, c)
+			rt, rl := reduceSupport(t, c)
+			leafLits := make([]Lit, len(rl))
+			for i, leafNode := range rl {
+				leafLits[i] = remap[leafNode]
+			}
+			saved := mffcSize(g, refs, m, c)
+			var lit Lit
+			var added int
+			switch len(rl) {
+			case 0:
+				lit = ng.Const(rt&1 == 1)
+			case 1:
+				lit = leafLits[0]
+				if rt&1 == 1 { // value 1 at leaf=0 ⇒ function is ¬leaf
+					lit = lit.Not()
+				}
+			default:
+				cp := ng.mark()
+				lit, added = lib.build(ng, rt, leafLits)
+				if saved-added <= bestGain {
+					ng.rollback(cp)
+					continue
+				}
+			}
+			if gain := saved - added; gain > bestGain {
+				bestGain, bestLit = gain, lit
+			}
+		}
+		if bestGain > 0 {
+			remap[m] = bestLit
+			stats.Rewrites++
+			stats.NodesSaved += bestGain
+		} else {
+			a := remap[an]
+			if nd.a.complement() {
+				a = a.Not()
+			}
+			b := remap[bn]
+			if nd.b.complement() {
+				b = b.Not()
+			}
+			remap[m] = ng.And(a, b)
+		}
+
+		// This node's cut set for parents: survivors plus the trivial cut.
+		cuts[m] = append(cands, cut{leaves: [cutMaxLeaves]uint32{uint32(m)}, n: 1})
+	}
+
+	stats.Classes = len(lib.canon)
+	stats.Learned = lib.learned
+	newOuts := make([]Lit, len(outs))
+	for i, o := range outs {
+		l := remap[o.node()]
+		if o.complement() {
+			l = l.Not()
+		}
+		newOuts[i] = l
+	}
+	return ng, newOuts, stats
+}
+
+// projTT are the 4-variable projection tables: projTT[i] is "value of
+// variable i" over the 16 assignments.
+var projTT = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+
+// reduceSupport drops cut leaves the function does not depend on and
+// compacts the table onto the surviving variables, replicated back to a
+// canonical 4-variable table (positions ≥ support size redundant).
+func reduceSupport(t uint16, c *cut) (uint16, []uint32) {
+	var sup [cutMaxLeaves]bool
+	var leaves []uint32
+	k := 0
+	for i := 0; i < int(c.n); i++ {
+		mu := projTT[i]
+		s := uint(1) << i
+		t0 := t &^ mu
+		t0 |= t0 << s
+		t1 := t & mu
+		t1 |= t1 >> s
+		if t0 != t1 {
+			sup[i] = true
+			leaves = append(leaves, c.leaves[i])
+			k++
+		}
+	}
+	// Squeeze out redundant positions, highest first so lower positions
+	// keep their indices; each squeeze substitutes the variable with 0.
+	for i := int(c.n) - 1; i >= 0; i-- {
+		if sup[i] {
+			continue
+		}
+		var nt uint16
+		for j := 0; j < 16; j++ {
+			a := (j>>i)<<(i+1) | j&(1<<i-1) // insert 0 at position i
+			if a < 16 && t>>a&1 == 1 {
+				nt |= 1 << j
+			}
+		}
+		t = nt
+	}
+	for kk := k; kk < cutMaxLeaves; kk++ {
+		t |= t << (1 << kk)
+	}
+	return t, leaves
+}
+
+// mffcSize counts the AND nodes that die if node m is replaced over the
+// cut: m plus its maximum fanout-free cone above the cut leaves. refs is
+// restored before returning.
+func mffcSize(g *Graph, refs []int32, m uint32, c *cut) int {
+	isLeaf := func(x uint32) bool {
+		for i := 0; i < int(c.n); i++ {
+			if c.leaves[i] == x {
+				return true
+			}
+		}
+		return false
+	}
+	count := 0
+	var deref func(x uint32)
+	deref = func(x uint32) {
+		count++
+		nd := g.nodes[x]
+		for _, e := range [2]Lit{nd.a, nd.b} {
+			cn := e.node()
+			if isLeaf(cn) || g.nodes[cn].kind != kindAnd {
+				continue
+			}
+			refs[cn]--
+			if refs[cn] == 0 {
+				deref(cn)
+			}
+		}
+	}
+	var reref func(x uint32)
+	reref = func(x uint32) {
+		nd := g.nodes[x]
+		for _, e := range [2]Lit{nd.a, nd.b} {
+			cn := e.node()
+			if isLeaf(cn) || g.nodes[cn].kind != kindAnd {
+				continue
+			}
+			if refs[cn] == 0 {
+				reref(cn)
+			}
+			refs[cn]++
+		}
+	}
+	deref(m)
+	reref(m)
+	return count
+}

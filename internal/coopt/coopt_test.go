@@ -1,0 +1,226 @@
+package coopt_test
+
+import (
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sherlock/internal/arraymodel"
+	"sherlock/internal/coopt"
+	"sherlock/internal/device"
+	"sherlock/internal/dfg"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/mapping"
+	"sherlock/internal/symword"
+)
+
+const (
+	testTech = device.STTMRAM
+	testSize = 128
+)
+
+func testEvaluate(g *dfg.Graph) (*mapping.Result, error) {
+	return mapping.Optimized(g, mapping.Options{
+		Target: layout.Target{Arrays: 2, Rows: testSize, Cols: testSize},
+	})
+}
+
+func testConfig() coopt.Config {
+	model := arraymodel.New(arraymodel.DefaultConfig(testTech, testSize))
+	params := device.ParamsFor(testTech)
+	return coopt.Config{
+		MaxRows:  params.MaxRows,
+		Evaluate: testEvaluate,
+		Score: func(m *mapping.Result) (coopt.Score, error) {
+			return coopt.ScoreMapped(m, model, params)
+		},
+	}
+}
+
+// absKernel is a small XOR/MUX-heavy kernel (|x| of a two's-complement
+// word) — representative of the Sobel gradient datapath.
+func absKernel(width int) *dfg.Graph {
+	b := dfg.NewBuilder()
+	x := symword.Inputs(b, "x", width)
+	symword.Outputs(b, "y", symword.Abs(b, x))
+	return b.Graph()
+}
+
+func TestOptimizeNeverWorseAndVerified(t *testing.T) {
+	g := absKernel(8)
+	res, err := coopt.Optimize(g, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapped == nil || len(res.Mapped.Program) == 0 {
+		t.Fatal("no mapping returned")
+	}
+	if res.Stats.BestObjective > 1 {
+		t.Fatalf("result worse than baseline: objective %.4f", res.Stats.BestObjective)
+	}
+	if err := coopt.VerifyMapped(res.Mapped, device.ParamsFor(testTech).MaxRows); err != nil {
+		t.Fatalf("adopted mapping fails the verify gate: %v", err)
+	}
+	if err := coopt.FuzzEquivalence(g, res.Graph, 16, 7); err != nil {
+		t.Fatalf("adopted graph not equivalent to kernel: %v", err)
+	}
+	if res.Stats.Improved && res.Stats.BestScore.LatencyNS >= res.Stats.BaselineScore.LatencyNS &&
+		res.Stats.BestObjective >= 1 {
+		t.Fatal("Improved set but scores do not beat baseline")
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	run := func() (*coopt.Result, error) { return coopt.Optimize(absKernel(8), testConfig()) }
+	r1, err1 := run()
+	r2, err2 := run()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Stats.BestObjective != r2.Stats.BestObjective ||
+		r1.Stats.AndsAfter != r2.Stats.AndsAfter ||
+		len(r1.Mapped.Program) != len(r2.Mapped.Program) {
+		t.Fatalf("nondeterministic optimize: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+// TestVerifierGateRejectsCorruptedProgram proves the zero-findings gate has
+// teeth: a single corrupted column index in an otherwise valid program must
+// be rejected.
+func TestVerifierGateRejectsCorruptedProgram(t *testing.T) {
+	res, err := testEvaluate(absKernel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coopt.VerifyMapped(res, 0); err != nil {
+		t.Fatalf("pristine program rejected: %v", err)
+	}
+	corrupted := *res // shallow copy; program replaced below
+	prog := append(isa.Program(nil), res.Program...)
+	mutated := false
+	for i := range prog {
+		if len(prog[i].Cols) > 0 {
+			cols := append([]int(nil), prog[i].Cols...)
+			cols[len(cols)-1] = testSize + 17 // out of fabric bounds
+			prog[i].Cols = cols
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no instruction with columns to corrupt")
+	}
+	corrupted.Program = prog
+	err = coopt.VerifyMapped(&corrupted, 0)
+	if err == nil {
+		t.Fatal("verify gate accepted a corrupted program")
+	}
+	if !strings.Contains(err.Error(), "finding") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
+// TestOptimizeRejectsCorruptedCandidates corrupts every non-baseline
+// mapping the optimizer evaluates; the baseline must win with zero adopted
+// candidates.
+func TestOptimizeRejectsCorruptedCandidates(t *testing.T) {
+	var calls atomic.Int64
+	cfg := testConfig()
+	inner := cfg.Evaluate
+	cfg.Evaluate = func(g *dfg.Graph) (*mapping.Result, error) {
+		res, err := inner(g)
+		if err != nil {
+			return nil, err
+		}
+		if calls.Add(1) == 1 {
+			return res, nil // baseline stays pristine
+		}
+		prog := append(isa.Program(nil), res.Program...)
+		for i := range prog {
+			if len(prog[i].Cols) > 0 {
+				cols := append([]int(nil), prog[i].Cols...)
+				cols[len(cols)-1] = testSize + 17
+				prog[i].Cols = cols
+				break
+			}
+		}
+		res.Program = prog
+		return res, nil
+	}
+	g := absKernel(6)
+	res, err := coopt.Optimize(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Improved {
+		t.Fatal("optimizer adopted a corrupted candidate")
+	}
+	if res.Stats.Rejected == 0 {
+		t.Fatal("no candidate was rejected despite corruption")
+	}
+	if res.Graph != g {
+		t.Fatal("result graph is not the original kernel")
+	}
+	if err := coopt.VerifyMapped(res.Mapped, 0); err != nil {
+		t.Fatalf("returned baseline mapping does not verify: %v", err)
+	}
+}
+
+func TestFuzzEquivalenceCatchesMutation(t *testing.T) {
+	build := func(xnor bool) *dfg.Graph {
+		b := dfg.NewBuilder()
+		p, q, r := b.Input("p"), b.Input("q"), b.Input("r")
+		v := b.And(p, q)
+		if xnor {
+			b.Output("o", b.Xnor(v, r))
+		} else {
+			b.Output("o", b.Xor(v, r))
+		}
+		return b.Graph()
+	}
+	if err := coopt.FuzzEquivalence(build(false), build(false), 8, 3); err != nil {
+		t.Fatalf("identical graphs reported different: %v", err)
+	}
+	if err := coopt.FuzzEquivalence(build(false), build(true), 8, 3); err == nil {
+		t.Fatal("fuzzer missed an XOR→XNOR mutation")
+	}
+	// Interface mismatches are rejected before any simulation.
+	b := dfg.NewBuilder()
+	b.Output("zz", b.And(b.Input("p"), b.Input("q")))
+	if err := coopt.FuzzEquivalence(build(false), b.Graph(), 8, 3); err == nil {
+		t.Fatal("fuzzer accepted mismatched interfaces")
+	}
+}
+
+// TestOptimizeRaceSmoke is the CI race-detector target: a tiny kernel, two
+// iterations, parallel candidate evaluation.
+func TestOptimizeRaceSmoke(t *testing.T) {
+	cfg := testConfig()
+	cfg.Iterations = 2
+	cfg.Workers = 4
+	if _, err := coopt.Optimize(absKernel(4), cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObjectiveWeights pins the blended-objective arithmetic.
+func TestObjectiveWeights(t *testing.T) {
+	w := coopt.Weights{Latency: 1}
+	base := coopt.Score{LatencyNS: 200, EnergyPJ: 50, PDF: 0.5}
+	if got := w.Objective(coopt.Score{LatencyNS: 100, EnergyPJ: 999, PDF: 0.9}, base); got != 0.5 {
+		t.Fatalf("latency-only objective = %v, want 0.5", got)
+	}
+	w = coopt.Weights{Latency: 0.5, Energy: 0.5}
+	if got := w.Objective(coopt.Score{LatencyNS: 100, EnergyPJ: 100}, base); got != 1.25 {
+		t.Fatalf("blended objective = %v, want 1.25", got)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		s := coopt.Score{LatencyNS: rng.Float64(), EnergyPJ: rng.Float64(), PDF: rng.Float64()}
+		if obj := (coopt.Weights{}).Objective(s, s); obj < 0.999 || obj > 1.001 {
+			t.Fatalf("self-objective with default weights = %v, want 1", obj)
+		}
+	}
+}

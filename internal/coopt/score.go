@@ -1,0 +1,72 @@
+package coopt
+
+import (
+	"sherlock/internal/arraymodel"
+	"sherlock/internal/device"
+	"sherlock/internal/mapping"
+	"sherlock/internal/reliability"
+	"sherlock/internal/sim"
+)
+
+// Score is a candidate's cost on the real models: command-bus latency and
+// energy from the array cost model, decision-failure probability from the
+// reliability model.
+type Score struct {
+	LatencyNS float64
+	EnergyPJ  float64
+	PDF       float64 // P(≥1 decision failure) over the program
+}
+
+// Weights blends the three score components into a single objective,
+// expressed as ratios against the baseline so the components' wildly
+// different units cancel. Latency dominates by default — the paper's
+// Algorithm 2 optimizes kernel latency first.
+type Weights struct {
+	Latency float64
+	Energy  float64
+	PDF     float64
+}
+
+func (w Weights) withDefaults() Weights {
+	if w.Latency == 0 && w.Energy == 0 && w.PDF == 0 {
+		return Weights{Latency: 0.85, Energy: 0.10, PDF: 0.05}
+	}
+	return w
+}
+
+// Objective returns the weighted relative cost of s against base; 1.0 means
+// exactly the baseline, lower is better. The zero value of Weights scores
+// with the defaults.
+func (w Weights) Objective(s, base Score) float64 {
+	w = w.withDefaults()
+	return w.Latency*ratio(s.LatencyNS, base.LatencyNS) +
+		w.Energy*ratio(s.EnergyPJ, base.EnergyPJ) +
+		w.PDF*ratio(s.PDF, base.PDF)
+}
+
+// ratio guards against degenerate baselines: a zero-cost baseline component
+// scores 1 (neutral) when matched and 2 (penalized) when exceeded.
+func ratio(a, b float64) float64 {
+	if b > 0 {
+		return a / b
+	}
+	if a <= 0 {
+		return 1
+	}
+	return 2
+}
+
+// ScoreMapped prices a finished mapping with the standard models for the
+// given technology and array size — the Score hook the facade and the
+// experiment runner both install.
+func ScoreMapped(res *mapping.Result, model *arraymodel.CostModel, params device.Params) (Score, error) {
+	cost, err := sim.Measure(res.Program, model)
+	if err != nil {
+		return Score{}, err
+	}
+	rel, err := reliability.Assess(res.Program, params)
+	if err != nil {
+		return Score{}, err
+	}
+	return Score{LatencyNS: cost.LatencyNS, EnergyPJ: cost.EnergyPJ, PDF: rel.PApp}, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sherlock/internal/device"
+)
+
+func TestResynthAblationShape(t *testing.T) {
+	r := NewRunner(QuickSetup())
+	rows, err := Resynth(r, device.STTMRAM, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := ResynthWorkloads()
+	variants := []ResynthVariant{ResynthOff, ResynthBalance, ResynthFull}
+	if len(rows) != len(workloads)*len(variants) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(workloads)*len(variants))
+	}
+	i := 0
+	for _, w := range workloads {
+		var baseLatency float64
+		for _, v := range variants {
+			row := rows[i]
+			i++
+			if row.Workload != w || row.Variant != v {
+				t.Fatalf("row %d is (%v, %v), want (%v, %v)", i-1, row.Workload, row.Variant, w, v)
+			}
+			if row.LatencyUS <= 0 || row.EnergyUJ <= 0 || row.Instructions <= 0 {
+				t.Fatalf("row %d has non-positive cost: %+v", i-1, row)
+			}
+			switch v {
+			case ResynthOff:
+				baseLatency = row.LatencyUS
+				if row.Speedup != 1 {
+					t.Fatalf("baseline speedup = %v, want 1", row.Speedup)
+				}
+			default:
+				// The optimizer keeps the baseline whenever no candidate
+				// beats it, so resynthesis is never a slowdown.
+				if row.LatencyUS > baseLatency {
+					t.Fatalf("%v %v is slower than its baseline: %.3f > %.3f us",
+						w, v, row.LatencyUS, baseLatency)
+				}
+				if row.Speedup < 1 {
+					t.Fatalf("%v %v speedup %.3f < 1", w, v, row.Speedup)
+				}
+			}
+		}
+	}
+	table := RenderResynth(rows)
+	for _, want := range []string{"workload", "baseline", "balance", "full", "speedup"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}

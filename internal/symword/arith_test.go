@@ -1,0 +1,135 @@
+package symword
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/dfg"
+)
+
+// evalNamed evaluates the built graph with the given word bindings and
+// reads back one output word as an integer.
+func evalNamed(t *testing.T, g *dfg.Graph, in map[string]bool, outPrefix string, outWidth int) uint64 {
+	t.Helper()
+	res, err := dfg.EvaluateByName(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out uint64
+	for i := 0; i < outWidth; i++ {
+		if res[fmt.Sprintf("%s%d", outPrefix, i)] {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func bindWord(in map[string]bool, prefix string, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		in[fmt.Sprintf("%s%d", prefix, i)] = v>>uint(i)&1 == 1
+	}
+}
+
+func TestPopcountGolden(t *testing.T) {
+	for w := 1; w <= 9; w++ {
+		b := dfg.NewBuilder()
+		x := Inputs(b, "x", w)
+		pc := Popcount(b, x)
+		if want := bits.Len(uint(w)); pc.Width() != want {
+			t.Fatalf("width %d: popcount output is %d bits, want %d", w, pc.Width(), want)
+		}
+		Outputs(b, "o", pc)
+		g := b.Graph()
+		for v := uint64(0); v < 1<<uint(w); v++ {
+			in := make(map[string]bool)
+			bindWord(in, "x", w, v)
+			if got, want := evalNamed(t, g, in, "o", pc.Width()), uint64(bits.OnesCount64(v)); got != want {
+				t.Fatalf("popcount_%d(%b) = %d, want %d", w, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCompress3Golden(t *testing.T) {
+	const w = 4
+	b := dfg.NewBuilder()
+	x := Inputs(b, "x", w)
+	y := Inputs(b, "y", w)
+	z := Inputs(b, "z", w)
+	sum, carry := Compress3(b, x, y, z)
+	if sum.Width() != w || carry.Width() != w+1 {
+		t.Fatalf("compress3 widths = (%d, %d), want (%d, %d)", sum.Width(), carry.Width(), w, w+1)
+	}
+	Outputs(b, "s", sum)
+	// carry[0] is constant false by construction and cannot be a kernel
+	// output; read the significant bits and shift back.
+	Outputs(b, "c", carry[1:])
+	g := b.Graph()
+	for xv := uint64(0); xv < 1<<w; xv++ {
+		for yv := uint64(0); yv < 1<<w; yv++ {
+			for zv := uint64(0); zv < 1<<w; zv++ {
+				in := make(map[string]bool)
+				bindWord(in, "x", w, xv)
+				bindWord(in, "y", w, yv)
+				bindWord(in, "z", w, zv)
+				s := evalNamed(t, g, in, "s", w)
+				c := evalNamed(t, g, in, "c", w) << 1
+				if s+c != xv+yv+zv {
+					t.Fatalf("compress3(%d,%d,%d): sum %d + carry %d = %d, want %d",
+						xv, yv, zv, s, c, s+c, xv+yv+zv)
+				}
+			}
+		}
+	}
+}
+
+func TestMulCarrySaveGolden(t *testing.T) {
+	// 1x1 is excluded: its top product bit is constant zero, and constant
+	// kernel outputs are rejected by the builder on principle.
+	cases := []struct{ wx, wy int }{{2, 2}, {3, 5}, {4, 4}, {6, 2}}
+	for _, tc := range cases {
+		b := dfg.NewBuilder()
+		x := Inputs(b, "x", tc.wx)
+		y := Inputs(b, "y", tc.wy)
+		p := MulCarrySave(b, x, y)
+		if p.Width() != tc.wx+tc.wy {
+			t.Fatalf("mul %dx%d: product width %d, want %d", tc.wx, tc.wy, p.Width(), tc.wx+tc.wy)
+		}
+		Outputs(b, "o", p)
+		g := b.Graph()
+		for xv := uint64(0); xv < 1<<uint(tc.wx); xv++ {
+			for yv := uint64(0); yv < 1<<uint(tc.wy); yv++ {
+				in := make(map[string]bool)
+				bindWord(in, "x", tc.wx, xv)
+				bindWord(in, "y", tc.wy, yv)
+				if got, want := evalNamed(t, g, in, "o", p.Width()), xv*yv; got != want {
+					t.Fatalf("mul %dx%d: %d*%d = %d, want %d", tc.wx, tc.wy, xv, yv, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMulCarrySaveWide(t *testing.T) {
+	// Spot-check a width where exhaustion is too big, against uint64 math.
+	const wx, wy = 10, 10
+	b := dfg.NewBuilder()
+	x := Inputs(b, "x", wx)
+	y := Inputs(b, "y", wy)
+	p := MulCarrySave(b, x, y)
+	Outputs(b, "o", p)
+	g := b.Graph()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		xv := uint64(rng.Intn(1 << wx))
+		yv := uint64(rng.Intn(1 << wy))
+		in := make(map[string]bool)
+		bindWord(in, "x", wx, xv)
+		bindWord(in, "y", wy, yv)
+		if got, want := evalNamed(t, g, in, "o", p.Width()), xv*yv; got != want {
+			t.Fatalf("%d*%d = %d, want %d", xv, yv, got, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sherlock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// windowKernel is the 2-bit range-detect kernel from the quickstart: enough
+// XOR/MUX structure for the resynthesis loop to have real candidates.
+const windowKernel = `
+void window(word x1, word x0, word lo1, word lo0, word hi1, word hi0, word *hit) {
+	word geLo = (x1 & ~lo1) | (~(x1 ^ lo1) & (x0 | ~lo0));
+	word leHi = (hi1 & ~x1) | (~(hi1 ^ x1) & (hi0 | ~x0));
+	*hit = geLo & leHi;
+}`
+
+// TestResynthesizeDifferential compiles the same kernel with and without
+// co-optimization and drives both programs through the single-shot Machine
+// path (Run) and the pre-decoded ExecMachine paths (RunBatch and
+// RunBatchWords), demanding bit-identical outputs on random vectors.
+func TestResynthesizeDifferential(t *testing.T) {
+	opts := Options{Tech: STTMRAM, ArraySize: 128}
+	base, err := CompileC(windowKernel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Resynth != nil {
+		t.Fatal("Resynth stats set without Options.Resynthesize")
+	}
+	opts.Resynthesize = true
+	opt, err := CompileC(windowKernel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Resynth == nil {
+		t.Fatal("Options.Resynthesize set but no Resynth stats")
+	}
+	if rep := opt.Verify(); !rep.Clean() {
+		t.Fatalf("resynthesized program has verifier findings: %v", rep)
+	}
+
+	names := base.InputNames()
+	outNames := base.OutputNames()
+	rng := rand.New(rand.NewSource(11))
+	const lanes = 100
+	batch := make([]map[string]bool, lanes)
+	for i := range batch {
+		in := make(map[string]bool, len(names))
+		for _, n := range names {
+			in[n] = rng.Intn(2) == 1
+		}
+		batch[i] = in
+	}
+
+	// Machine path: one vector at a time through both compilations.
+	for i, in := range batch {
+		want, err := base.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := opt.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range outNames {
+			if got[n] != want[n] {
+				t.Fatalf("Run vector %d output %q: optimized=%v baseline=%v", i, n, got[n], want[n])
+			}
+		}
+	}
+
+	// ExecMachine map path.
+	wantBatch, err := base.RunBatch(batch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBatch, err := opt.RunBatch(batch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		for _, n := range outNames {
+			if gotBatch[i][n] != wantBatch[i][n] {
+				t.Fatalf("RunBatch vector %d output %q: optimized=%v baseline=%v",
+					i, n, gotBatch[i][n], wantBatch[i][n])
+			}
+		}
+	}
+
+	// ExecMachine packed-words path. Slot order is each compilation's own
+	// InputNames/OutputNames — resynthesis may reorder them — so pack and
+	// unpack per compilation and compare by name.
+	W := (lanes + 63) / 64
+	unpack := func(c *Compiled) map[string][]uint64 {
+		in, n := packBatch(t, c.InputNames(), batch)
+		words, err := c.RunBatchWords(in, n, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := make(map[string][]uint64, len(outNames))
+		for o, name := range c.OutputNames() {
+			byName[name] = words[o*W : (o+1)*W]
+		}
+		return byName
+	}
+	wantWords, gotWords := unpack(base), unpack(opt)
+	for _, name := range outNames {
+		for i := range wantWords[name] {
+			if gotWords[name][i] != wantWords[name][i] {
+				t.Fatalf("RunBatchWords output %q word %d: optimized=%#x baseline=%#x",
+					name, i, gotWords[name][i], wantWords[name][i])
+			}
+		}
+	}
+}
+
+// TestResynthesizeNeverWorse pins the facade contract: with Resynthesize
+// set, the compiled program's measured latency is never above the plain
+// Algorithm 2 compilation of the same kernel and options.
+func TestResynthesizeNeverWorse(t *testing.T) {
+	opts := Options{Tech: STTMRAM, ArraySize: 128}
+	base, err := CompileC(windowKernel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Resynthesize = true
+	opt, err := CompileC(windowKernel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := base.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := opt.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.LatencyNS > bc.LatencyNS {
+		t.Fatalf("resynthesis made the kernel slower: %.1f ns > %.1f ns", oc.LatencyNS, bc.LatencyNS)
+	}
+	if opt.Resynth.Improved && len(opt.Program) >= len(base.Program) &&
+		oc.LatencyNS >= bc.LatencyNS {
+		t.Fatal("Improved reported but neither program size nor latency improved")
+	}
+}

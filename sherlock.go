@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"sherlock/internal/arraymodel"
+	"sherlock/internal/coopt"
 	"sherlock/internal/cparser"
 	"sherlock/internal/device"
 	"sherlock/internal/dfg"
@@ -143,6 +144,17 @@ type Options struct {
 	// in-bounds, and free of dead stores or shadowed writes without
 	// executing a single lane. Compilation fails if any finding surfaces.
 	VerifyEmitted bool
+
+	// Resynthesize turns on synthesis↔scheduling co-optimization
+	// (internal/coopt): the kernel is lifted into an AIG, a portfolio of
+	// resynthesis passes generates candidate nets, each candidate is mapped
+	// through the configured mapper and priced on the real cost models, and
+	// the best verified, equivalence-fuzzed mapping wins. The baseline
+	// compile is always the floor — a run can only match or improve it.
+	Resynthesize bool
+	// ResynthIterations bounds the candidate-generation rounds when
+	// Resynthesize is set (default 4).
+	ResynthIterations int
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +166,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MultiRowActivation && o.MRAFraction == 0 {
 		o.MRAFraction = 1
+	}
+	if o.Resynthesize && o.ResynthIterations == 0 {
+		o.ResynthIterations = 4
 	}
 	return o
 }
@@ -168,11 +183,19 @@ func (o Options) Normalized() Options { return o.withDefaults() }
 // sim.DefaultBlockWords words = 256 input vectors per decoded program pass.
 const execBlockWords = sim.DefaultBlockWords
 
+// ResynthStats reports what the co-optimization loop did: baseline and
+// best scores, AIG sizes, candidate counts and per-iteration outcomes.
+type ResynthStats = coopt.Stats
+
 // Compiled is a mapped kernel ready to execute, cost and assess.
 type Compiled struct {
 	Graph   *Graph
 	Program Program
 	Stats   MappingStats
+
+	// Resynth holds the co-optimization report when Options.Resynthesize
+	// was set; nil otherwise.
+	Resynth *ResynthStats
 
 	opts   Options
 	result *mapping.Result
@@ -209,40 +232,66 @@ func CompileGraph(g *Graph, opts Options) (*Compiled, error) {
 	opts = opts.withDefaults()
 	params := device.ParamsFor(opts.Tech)
 
-	if opts.MultiRowActivation {
-		g, _ = dfg.SubstituteNodes(g, dfg.SubstituteOptions{
-			MaxOperands: params.MaxRows,
-			Fraction:    opts.MRAFraction,
-			Seed:        1,
-		})
-	}
-	if opts.NANDLowering {
-		g, _ = dfg.LowerToNAND(g)
+	// mapGraph is the full lower half of the pipeline — graph transforms
+	// (MRA fusion, NAND lowering) plus the configured mapper — so every
+	// co-optimization candidate is priced on exactly the program it would
+	// ship as.
+	mapGraph := func(g *dfg.Graph) (*mapping.Result, error) {
+		if opts.MultiRowActivation {
+			g, _ = dfg.SubstituteNodes(g, dfg.SubstituteOptions{
+				MaxOperands: params.MaxRows,
+				Fraction:    opts.MRAFraction,
+				Seed:        1,
+			})
+		}
+		if opts.NANDLowering {
+			g, _ = dfg.LowerToNAND(g)
+		}
+		mopts := mapping.Options{
+			Target: Target{
+				Arrays: opts.Arrays,
+				Rows:   opts.ArraySize,
+				Cols:   opts.ArraySize,
+			},
+			RecycleRows:  opts.RecycleRows,
+			WearLeveling: opts.WearLeveling,
+		}
+		if opts.Mapper == MapperNaive {
+			return mapping.Naive(g, mopts)
+		}
+		return mapping.Optimized(g, mopts)
 	}
 
-	mopts := mapping.Options{
-		Target: Target{
-			Arrays: opts.Arrays,
-			Rows:   opts.ArraySize,
-			Cols:   opts.ArraySize,
-		},
-		RecycleRows:  opts.RecycleRows,
-		WearLeveling: opts.WearLeveling,
-	}
 	var res *mapping.Result
-	var err error
-	if opts.Mapper == MapperNaive {
-		res, err = mapping.Naive(g, mopts)
+	var rstats *ResynthStats
+	if opts.Resynthesize {
+		model := arraymodel.New(arraymodel.DefaultConfig(opts.Tech, opts.ArraySize))
+		r, err := coopt.Optimize(g, coopt.Config{
+			Iterations: opts.ResynthIterations,
+			MaxRows:    params.MaxRows,
+			Evaluate:   mapGraph,
+			Score: func(m *mapping.Result) (coopt.Score, error) {
+				return coopt.ScoreMapped(m, model, params)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res = r.Mapped
+		rstats = &r.Stats
 	} else {
-		res, err = mapping.Optimized(g, mopts)
+		var err error
+		if res, err = mapGraph(g); err != nil {
+			return nil, err
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
+	// res.Graph is the graph the mapper actually placed (post-transform,
+	// post-resynthesis); output NodeIDs must resolve against it.
 	c := &Compiled{
-		Graph:   g,
+		Graph:   res.Graph,
 		Program: res.Program,
 		Stats:   res.Stats,
+		Resynth: rstats,
 		opts:    opts,
 		result:  res,
 	}
