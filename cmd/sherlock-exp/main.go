@@ -2,13 +2,20 @@
 //
 // Usage:
 //
-//	sherlock-exp -exp table2|fig2b|fig6|fig7|mc|resynth|all [-quick] [-parallel N]
-//	             [-fig6-size 256] [-fig7-sizes 128,256,512,1024] [-resynth-size 512]
+//	sherlock-exp -exp table2|fig2b|fig6|fig7|mc|resynth|analytics|all
+//	             [-quick] [-parallel N] [-fig6-size 256]
+//	             [-fig7-sizes 128,256,512,1024] [-resynth-size 512] [-rows N]
 //
 // -exp resynth runs the synthesis↔scheduling co-optimization ablation
 // (Algorithm 2 alone vs balance-only vs the full pass portfolio); it is
 // opt-in and not part of -exp all because the search compiles each
 // workload many times.
+//
+// -exp analytics runs the streamed data-analytics campaign (bitmap-index
+// COUNT and bit-serial filter+SUM over -rows rows, default one million):
+// the deterministic tallies go to stdout, the stream/batch/CPU rows/sec
+// comparison to stderr. Also opt-in: the million-row scans are a
+// throughput measurement, not a paper artifact.
 //
 // -quick shrinks the kernels (2-round AES, small tiles) for fast runs;
 // the default regenerates the full-scale campaign (complete AES-128),
@@ -33,12 +40,13 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc, resynth or all")
+		exp        = flag.String("exp", "all", "experiment: table2, fig2b, fig6, fig7, mc, resynth, analytics or all")
 		quick      = flag.Bool("quick", false, "shrunken kernels for fast iteration")
 		fig6Size   = flag.Int("fig6-size", 256, "array dimension for the Fig. 6 sweep")
 		mcRuns     = flag.Int("mc-runs", 400, "fault-injected runs per Monte-Carlo validation row")
 		fig7Sizes  = flag.String("fig7-sizes", "128,256,512,1024", "array dimensions for Fig. 7")
 		resynSize  = flag.Int("resynth-size", 512, "array dimension for the resynthesis ablation")
+		rows       = flag.Int("rows", 1_000_000, "table size for the analytics campaign")
 		parallel   = flag.Int("parallel", 0, "campaign worker pool size (0 = all cores); results are identical for every setting")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -151,6 +159,27 @@ func main() {
 			// Timing goes to stderr: stdout stays byte-identical across
 			// runs and -parallel settings.
 			fmt.Fprintf(os.Stderr, "resynthesis search completed in %v\n", elapsed.Round(time.Millisecond))
+			return nil
+		})
+	}
+	// The analytics campaign is opt-in too (-exp analytics): it is a
+	// wall-clock throughput measurement over millions of rows, not one of
+	// the paper's deterministic artifacts.
+	if *exp == "analytics" {
+		run("analytics", func() error {
+			cfg := experiments.DefaultAnalyticsConfig()
+			cfg.Rows = *rows
+			if *quick {
+				cfg.Rows = min(cfg.Rows, 100_000)
+			}
+			cfg.Parallelism = *parallel
+			res, err := experiments.Analytics(cfg, time.Now)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderAnalytics(res))
+			// Throughput varies run to run: stderr keeps stdout diffable.
+			fmt.Fprint(os.Stderr, experiments.RenderAnalyticsTiming(res))
 			return nil
 		})
 	}

@@ -26,9 +26,11 @@
 //
 //	sherlock-vet [-root DIR] [packages...]
 //
-// Packages default to the deterministic core: internal/mapping,
+// Packages default to the deterministic core: the root facade (which now
+// carries the streaming execution layer), internal/mapping,
 // internal/sim, internal/experiments, internal/isa, internal/readyq,
-// plus the serving layer (internal/serve, internal/memo, internal/pool),
+// plus the serving layer (internal/serve, internal/memo, internal/pool)
+// and the analytics workload builders (internal/workloads/analytics),
 // whose coalesced outputs must be bit-identical however batches compose.
 // Directories are scanned
 // non-recursively and _test.go files are skipped. Exit status: 0 clean,
@@ -50,6 +52,7 @@ import (
 )
 
 var defaultDirs = []string{
+	".",
 	"internal/mapping",
 	"internal/sim",
 	"internal/experiments",
@@ -60,6 +63,7 @@ var defaultDirs = []string{
 	"internal/pool",
 	"internal/aig",
 	"internal/coopt",
+	"internal/workloads/analytics",
 }
 
 func main() {

@@ -1,0 +1,358 @@
+package sherlock
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// streamEdgeLanes are the chunk-edge row counts the streaming pipeline
+// must get right: single lane, word boundaries, machine-block boundaries,
+// and chunk boundaries on either side.
+var streamEdgeLanes = []int{1, 63, 64, 65, 255, 256, 257, 4095, 4096}
+
+// randPackedBatch builds a slot-major packed input block with
+// deterministic pseudo-random bits (dead lanes of the last word carry
+// garbage on purpose — the pipeline must mask them out of every result).
+func randPackedBatch(c *Compiled, lanes int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	W := (lanes + 63) / 64
+	in := make([]uint64, len(c.InputNames())*W)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	return in
+}
+
+// hostCount pops each output of a RunBatchWords block.
+func hostCount(out []uint64, numOut, W int) []int64 {
+	counts := make([]int64, numOut)
+	for o := 0; o < numOut; o++ {
+		for _, w := range out[o*W : (o+1)*W] {
+			counts[o] += int64(bits.OnesCount64(w))
+		}
+	}
+	return counts
+}
+
+// TestRunStreamMatchesBatchWords is the differential anchor: the streamed
+// BitmapSink must reproduce RunBatchWords bit for bit at every awkward
+// edge, whatever the chunking, sharding, or overlap mode.
+func TestRunStreamMatchesBatchWords(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numOut := len(c.OutputNames())
+	cases := []StreamOptions{
+		{Parallelism: 1, ChunkLanes: 128},
+		{Parallelism: 3, ChunkLanes: 128},
+		{Parallelism: 3, ChunkLanes: 128, Serial: true},
+		{Parallelism: 2, ChunkLanes: 1024},
+		{Parallelism: 2}, // auto chunk width
+	}
+	for ci, opts := range cases {
+		s, err := c.NewStreamer(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink BitmapSink
+		for _, lanes := range streamEdgeLanes {
+			in := randPackedBatch(c, lanes, int64(lanes))
+			want, err := c.RunBatchWords(in, lanes, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(in, lanes, &sink); err != nil {
+				t.Fatalf("case %d lanes %d: %v", ci, lanes, err)
+			}
+			W := (lanes + 63) / 64
+			if len(sink.Out) != numOut*W {
+				t.Fatalf("case %d lanes %d: sink has %d words, want %d", ci, lanes, len(sink.Out), numOut*W)
+			}
+			for i := range want {
+				if sink.Out[i] != want[i] {
+					t.Fatalf("case %d lanes %d: word %d = %#x, want %#x (output %d)",
+						ci, lanes, i, sink.Out[i], want[i], i/W)
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestRunStreamMatchesScalar cross-checks the stream against the scalar
+// per-lane Machine path — the slowest, simplest oracle.
+func TestRunStreamMatchesScalar(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := c.InputNames()
+	outNames := c.OutputNames()
+	lanes := 70 // spans a word boundary
+	in := randPackedBatch(c, lanes, 99)
+	var sink BitmapSink
+	if err := c.RunStream(in, lanes, &sink, StreamOptions{Parallelism: 2, ChunkLanes: 64}); err != nil {
+		t.Fatal(err)
+	}
+	W := (lanes + 63) / 64
+	for l := 0; l < lanes; l++ {
+		iv := make(map[string]bool, len(names))
+		for s, n := range names {
+			iv[n] = in[s*W+l/64]>>uint(l%64)&1 == 1
+		}
+		want, err := c.Run(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o, n := range outNames {
+			got := sink.Out[o*W+l/64]>>uint(l%64)&1 == 1
+			if got != want[n] {
+				t.Fatalf("lane %d output %q: stream=%v scalar=%v", l, n, got, want[n])
+			}
+		}
+	}
+}
+
+// TestStreamSinks pins every fused reduction against host math over the
+// RunBatchWords reference output, at every edge lane count.
+func TestStreamSinks(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numOut := len(c.OutputNames())
+	s, err := c.NewStreamer(StreamOptions{Parallelism: 3, ChunkLanes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var (
+		count  CountSink
+		anyS   AnySink
+		allS   AllSink
+		sel    SelectSink
+		sum    SumBitsSink
+		bitmap BitmapSink
+	)
+	for _, lanes := range streamEdgeLanes {
+		in := randPackedBatch(c, lanes, 7*int64(lanes)+1)
+		want, err := c.RunBatchWords(in, lanes, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		W := (lanes + 63) / 64
+		wantCounts := hostCount(want, numOut, W)
+
+		if err := s.Run(in, lanes, &count); err != nil {
+			t.Fatal(err)
+		}
+		for o, n := range wantCounts {
+			if count.Counts[o] != n {
+				t.Errorf("lanes %d: CountSink[%d] = %d, want %d", lanes, o, count.Counts[o], n)
+			}
+		}
+
+		if err := s.Run(in, lanes, &anyS); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(in, lanes, &allS); err != nil {
+			t.Fatal(err)
+		}
+		for o := 0; o < numOut; o++ {
+			if got, want := anyS.Any[o], wantCounts[o] > 0; got != want {
+				t.Errorf("lanes %d: AnySink[%d] = %v, want %v", lanes, o, got, want)
+			}
+			if got, want := allS.All[o], wantCounts[o] == int64(lanes); got != want {
+				t.Errorf("lanes %d: AllSink[%d] = %v, want %v (count %d)", lanes, o, got, want, wantCounts[o])
+			}
+		}
+
+		for o := 0; o < numOut; o++ {
+			sel.Output = o
+			if err := s.Run(in, lanes, &sel); err != nil {
+				t.Fatal(err)
+			}
+			var wantRows []int64
+			for l := 0; l < lanes; l++ {
+				if want[o*W+l/64]>>uint(l%64)&1 == 1 {
+					wantRows = append(wantRows, int64(l))
+				}
+			}
+			if len(sel.Rows) != len(wantRows) {
+				t.Fatalf("lanes %d output %d: SelectSink gathered %d rows, want %d",
+					lanes, o, len(sel.Rows), len(wantRows))
+			}
+			for i := range wantRows {
+				if sel.Rows[i] != wantRows[i] {
+					t.Fatalf("lanes %d output %d: row[%d] = %d, want %d",
+						lanes, o, i, sel.Rows[i], wantRows[i])
+				}
+			}
+		}
+
+		if err := s.Run(in, lanes, &sum); err != nil {
+			t.Fatal(err)
+		}
+		var wantSum uint64
+		for o := 0; o < numOut; o++ {
+			wantSum += uint64(wantCounts[o]) << uint(o)
+		}
+		if sum.Sum != wantSum {
+			t.Errorf("lanes %d: SumBitsSink = %d, want %d", lanes, sum.Sum, wantSum)
+		}
+
+		// One streamer serves heterogeneous sinks back to back.
+		if err := s.Run(in, lanes, &bitmap); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if bitmap.Out[i] != want[i] {
+				t.Fatalf("lanes %d: bitmap word %d diverged after sink reuse", lanes, i)
+			}
+		}
+	}
+}
+
+// TestStreamAllSinkLiveLanes: AllSink must not let zero-masked dead lanes
+// veto FORALL. An all-ones input makes demoKernel's "lo" output
+// (t | ~a) all true; at 65 lanes the final word has 63 dead lanes.
+func TestStreamAllSinkLiveLanes(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{1, 64, 65, 255, 257} {
+		W := (lanes + 63) / 64
+		in := make([]uint64, len(c.InputNames())*W)
+		for i := range in {
+			in[i] = ^uint64(0)
+		}
+		var sink AllSink
+		if err := c.RunStream(in, lanes, &sink, StreamOptions{Parallelism: 2, ChunkLanes: 64}); err != nil {
+			t.Fatal(err)
+		}
+		// a=b=c=1: t = (a&b)^c = 0; lo = t|~a = 0... all false; hi = t&b = 0.
+		// Use the scalar oracle instead of hand-derivation.
+		ref, err := c.Run(map[string]bool{"a": true, "b": true, "c": true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o, n := range c.OutputNames() {
+			if sink.All[o] != ref[n] {
+				t.Errorf("lanes %d: AllSink[%q] = %v, want %v", lanes, n, sink.All[o], ref[n])
+			}
+		}
+	}
+}
+
+// TestRunStreamMillionRows runs the 1e6±1 differential: streamed count and
+// bitmap tallies must match RunBatchWords on the same million-row block.
+func TestRunStreamMillionRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-row differential skipped in -short")
+	}
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numOut := len(c.OutputNames())
+	s, err := c.NewStreamer(StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, lanes := range []int{1_000_000 - 1, 1_000_000, 1_000_000 + 1} {
+		in := randPackedBatch(c, lanes, int64(lanes))
+		want, err := c.RunBatchWords(in, lanes, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		W := (lanes + 63) / 64
+		wantCounts := hostCount(want, numOut, W)
+
+		var count CountSink
+		if err := s.Run(in, lanes, &count); err != nil {
+			t.Fatal(err)
+		}
+		for o := range wantCounts {
+			if count.Counts[o] != wantCounts[o] {
+				t.Errorf("lanes %d: count[%d] = %d, want %d", lanes, o, count.Counts[o], wantCounts[o])
+			}
+		}
+
+		var bitmap BitmapSink
+		if err := s.Run(in, lanes, &bitmap); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if bitmap.Out[i] != want[i] {
+				t.Fatalf("lanes %d: bitmap word %d = %#x, want %#x", lanes, i, bitmap.Out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunStreamValidation: bad geometry and bad sinks fail cleanly.
+func TestRunStreamValidation(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewStreamer(StreamOptions{ChunkLanes: 100}); err == nil {
+		t.Error("ChunkLanes not a multiple of 64 should fail")
+	}
+	if _, err := c.NewStreamer(StreamOptions{ChunkLanes: -64}); err == nil {
+		t.Error("negative ChunkLanes should fail")
+	}
+	s, err := c.NewStreamer(StreamOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var sink CountSink
+	if err := s.Run(nil, 0, &sink); err == nil {
+		t.Error("zero lanes should fail")
+	}
+	if err := s.Run(make([]uint64, 1), 1024, &sink); err == nil {
+		t.Error("short input block should fail")
+	}
+	sel := &SelectSink{Output: 99}
+	in := randPackedBatch(c, 64, 1)
+	if err := s.Run(in, 64, sel); err == nil {
+		t.Error("out-of-range SelectSink output should fail")
+	}
+}
+
+// TestStreamerZeroAlloc proves the steady-state 0 allocs/op contract: a
+// warmed Streamer + fused sink pair allocates nothing per run.
+func TestStreamerZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.NewStreamer(StreamOptions{Parallelism: 2, ChunkLanes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	lanes := 4096
+	in := randPackedBatch(c, lanes, 3)
+	var count CountSink
+	// Warm the sink's accumulators.
+	if err := s.Run(in, lanes, &count); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := s.Run(in, lanes, &count); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warmed RunStream allocates %.1f objects/run, want 0", allocs)
+	}
+}

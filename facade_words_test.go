@@ -128,6 +128,55 @@ func TestRunBatchWordsInputValidation(t *testing.T) {
 	}
 }
 
+// TestRunBatchOutputMapsAreCallerOwned pins the RunBatch ownership
+// contract: the returned maps are fresh on every call, so a caller
+// mutating them — flipping values, adding keys — cannot corrupt a later
+// batch's results, and the later batch never returns the same map
+// objects.
+func TestRunBatchOutputMapsAreCallerOwned(t *testing.T) {
+	c, err := CompileC(demoKernel, Options{Tech: ReRAM, ArraySize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []map[string]bool{
+		{"a": true, "b": true, "c": false},
+		{"a": false, "b": true, "c": true},
+		{"a": true, "b": false, "c": true},
+	}
+	want, err := c.RunBatch(batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.RunBatch(batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vandalize everything the first call returned.
+	for _, m := range first {
+		for k := range m {
+			m[k] = !m[k]
+		}
+		m["garbage"] = true
+	}
+	second, err := c.RunBatch(batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range second {
+		if reflect.ValueOf(second[i]).Pointer() == reflect.ValueOf(first[i]).Pointer() {
+			t.Errorf("vector %d: second batch returned the first batch's map object", i)
+		}
+		if _, ok := second[i]["garbage"]; ok {
+			t.Errorf("vector %d: caller mutation leaked into the next batch", i)
+		}
+		for k, v := range want[i] {
+			if second[i][k] != v {
+				t.Errorf("vector %d output %q: got %v after mutation, want %v", i, k, second[i][k], v)
+			}
+		}
+	}
+}
+
 // TestRunBatchIntoReusesMaps pins output-map reuse: the second call fills
 // the same map objects rather than allocating fresh ones, and stale keys
 // from the previous fill do not survive.

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic injected clock: each call advances one
+// millisecond, so timing math exercises without wall time.
+func fakeClock() func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+// TestAnalyticsDeterministicTallies runs the campaign small with a fake
+// clock: the plans must produce exact host-verified tallies (Analytics
+// itself errors on any CIM/host divergence) and identical counts across
+// repeat runs and parallelism settings.
+func TestAnalyticsDeterministicTallies(t *testing.T) {
+	cfg := AnalyticsConfig{Rows: 10_000, Seed: 42, Parallelism: 1}
+	a, err := Analytics(cfg, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 {
+		t.Fatalf("got %d rows, want 2", len(a))
+	}
+	cfg.Parallelism = 3
+	b, err := Analytics(cfg, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Count != b[i].Count || a[i].Sum != b[i].Sum {
+			t.Errorf("row %d: tallies differ across parallelism: %d/%d vs %d/%d",
+				i, a[i].Count, a[i].Sum, b[i].Count, b[i].Sum)
+		}
+		if a[i].Count <= 0 || a[i].Count >= int64(cfg.Rows) {
+			t.Errorf("row %d: degenerate selectivity %d/%d", i, a[i].Count, cfg.Rows)
+		}
+	}
+	if a[1].Sum == 0 {
+		t.Error("filter+SUM plan produced a zero sum")
+	}
+
+	out := RenderAnalytics(a)
+	if out != RenderAnalytics(b) {
+		t.Error("deterministic render differs across parallelism")
+	}
+	for _, want := range []string{"bitmap-index COUNT", "filter+SUM", "10000 rows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	timing := RenderAnalyticsTiming(a)
+	for _, want := range []string{"stream rows/s", "cpu rows/s", "spdup"} {
+		if !strings.Contains(timing, want) {
+			t.Errorf("timing render missing %q:\n%s", want, timing)
+		}
+	}
+}
+
+func TestAnalyticsRejectsBadConfig(t *testing.T) {
+	if _, err := Analytics(AnalyticsConfig{Rows: 0}, fakeClock()); err == nil {
+		t.Error("zero rows should fail")
+	}
+}

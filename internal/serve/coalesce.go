@@ -17,7 +17,10 @@ import (
 // (size trigger) or when the window timer expires after the first pending
 // request (time trigger), whichever comes first. Requests larger than the
 // batch threshold bypass the queue entirely — they already fill their own
-// passes.
+// passes; bulk requests at or above StreamMinLanes skip batching AND
+// buffering and run through the facade's chunked streaming pipeline
+// (Compiled.RunStream machinery), whose per-shard machine pipelines beat
+// a single materializing RunBatchWords pass on large blocks.
 //
 // Merging is bit-exact: each caller's lanes pack contiguously (bit-shifted,
 // not word-aligned) into the merged block and demux back out, so outputs
@@ -29,9 +32,13 @@ type Coalescer struct {
 	numOut int
 
 	maxLanes    int
+	streamMin   int
 	window      time.Duration
 	parallelism int
 	limiter     *pool.Limiter
+
+	streamer     *sherlock.Streamer // under mu; nil until first bulk request
+	streamClosed bool               // under mu; Close or failed setup
 
 	mu           sync.Mutex
 	pending      []*pendingReq
@@ -51,6 +58,7 @@ type CoalescerStats struct {
 	SizeFlushes  int64 // flushed by the lane threshold
 	TimerFlushes int64 // flushed by the window timer
 	DirectRuns   int64 // oversized requests that bypassed the queue
+	StreamRuns   int64 // bulk requests served by the streaming pipeline
 	MaxBatch     int64 // largest merged batch, in lanes
 }
 
@@ -81,7 +89,17 @@ type CoalescerConfig struct {
 	// Limiter, when non-nil, bounds concurrent executor passes across all
 	// coalescers sharing it.
 	Limiter *pool.Limiter
+	// StreamMinLanes is the bulk-request threshold: direct requests of at
+	// least this many lanes run through the chunked streaming pipeline
+	// instead of one materializing RunBatchWords pass. 0 selects the
+	// default (DefaultStreamMinLanes); negative disables streaming.
+	StreamMinLanes int
 }
+
+// DefaultStreamMinLanes is the default streaming threshold: 16 full
+// 256-lane executor passes, where pipeline overlap clearly pays for the
+// chunk bookkeeping.
+const DefaultStreamMinLanes = 4096
 
 // NewCoalescer builds a coalescer over a compiled program.
 func NewCoalescer(c *sherlock.Compiled, cfg CoalescerConfig) *Coalescer {
@@ -91,15 +109,52 @@ func NewCoalescer(c *sherlock.Compiled, cfg CoalescerConfig) *Coalescer {
 	if cfg.Window == 0 {
 		cfg.Window = 200 * time.Microsecond
 	}
+	if cfg.StreamMinLanes == 0 {
+		cfg.StreamMinLanes = DefaultStreamMinLanes
+	}
 	return &Coalescer{
 		c:           c,
 		numIn:       len(c.InputNames()),
 		numOut:      len(c.OutputNames()),
 		maxLanes:    cfg.MaxBatchLanes,
+		streamMin:   cfg.StreamMinLanes,
 		window:      cfg.Window,
 		parallelism: cfg.Parallelism,
 		limiter:     cfg.Limiter,
 	}
+}
+
+// Close releases the streaming pipeline's goroutines, if one was built.
+// The coalescer itself remains usable — later bulk requests fall back to
+// the batch path.
+func (q *Coalescer) Close() {
+	q.mu.Lock()
+	s := q.streamer
+	q.streamer, q.streamClosed = nil, true
+	q.mu.Unlock()
+	if s != nil {
+		s.Close() // waits out any in-flight streamed run
+	}
+}
+
+// streamerFor lazily builds the shared streaming pipeline. A nil return
+// means streaming is unavailable (closed, or setup failed) and the caller
+// should use the batch path.
+func (q *Coalescer) streamerFor() *sherlock.Streamer {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.streamClosed {
+		return nil
+	}
+	if q.streamer == nil {
+		s, err := q.c.NewStreamer(sherlock.StreamOptions{Parallelism: q.parallelism})
+		if err != nil {
+			q.streamClosed = true
+			return nil
+		}
+		q.streamer = s
+	}
+	return q.streamer
 }
 
 // Submit runs lanes packed input vectors (RunBatchWords layout, stride
@@ -268,8 +323,28 @@ func (q *Coalescer) flushBatch(batch []*pendingReq, total int) {
 	q.scratch.Put(s)
 }
 
-// runDirect executes an oversized request without merging.
+// runDirect executes an oversized request without merging. Bulk requests
+// (>= StreamMinLanes) go through the chunked streaming pipeline with a
+// bitmap sink writing straight into the caller's buffer — bit-identical
+// to the batch path, pinned by the serve differential tests. If the
+// pipeline is unavailable (closed mid-shutdown, setup failure), the
+// request falls back to one materializing RunBatchWords pass.
 func (q *Coalescer) runDirect(in []uint64, lanes int, out []uint64) ([]uint64, error) {
+	if q.streamMin > 0 && lanes >= q.streamMin {
+		if s := q.streamerFor(); s != nil {
+			sink := sherlock.BitmapSink{Out: out}
+			q.limiter.Acquire()
+			err := s.Run(in, lanes, &sink)
+			q.limiter.Release()
+			if err == nil {
+				q.mu.Lock()
+				q.stats.StreamRuns++
+				q.mu.Unlock()
+				return sink.Out, nil
+			}
+			// Closed under us: fall through to the batch path.
+		}
+	}
 	q.limiter.Acquire()
 	defer q.limiter.Release()
 	return q.c.RunBatchWords(in, lanes, out, q.parallelism)

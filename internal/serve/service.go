@@ -28,6 +28,10 @@ type Config struct {
 	// MaxConcurrentPasses bounds executor passes in flight across all
 	// kernels (0 = unlimited).
 	MaxConcurrentPasses int
+	// StreamMinLanes is the bulk-request streaming threshold (see
+	// CoalescerConfig.StreamMinLanes: 0 selects DefaultStreamMinLanes,
+	// negative disables the streaming path).
+	StreamMinLanes int
 	// Backend pins routing for every request (BackendAuto = per-request
 	// cost-model decision).
 	Backend Backend
@@ -148,10 +152,11 @@ func (s *Service) Route(e *Entry, lanes int) (Decision, error) {
 func (s *Service) coalescerFor(e *Entry) *Coalescer {
 	e.coalOnce.Do(func() {
 		e.coal = NewCoalescer(e.Compiled, CoalescerConfig{
-			MaxBatchLanes: s.cfg.MaxBatchLanes,
-			Window:        s.cfg.Window,
-			Parallelism:   s.cfg.Parallelism,
-			Limiter:       s.limiter,
+			MaxBatchLanes:  s.cfg.MaxBatchLanes,
+			Window:         s.cfg.Window,
+			Parallelism:    s.cfg.Parallelism,
+			Limiter:        s.limiter,
+			StreamMinLanes: s.cfg.StreamMinLanes,
 		})
 		s.mu.Lock()
 		s.coalescers = append(s.coalescers, e.coal)
@@ -168,6 +173,18 @@ func (s *Service) Drain() {
 	s.mu.Unlock()
 	for _, q := range qs {
 		q.Flush()
+	}
+}
+
+// Close drains every batch window and releases the streaming pipelines.
+// The service remains usable; later bulk requests use the batch path.
+func (s *Service) Close() {
+	s.Drain()
+	s.mu.Lock()
+	qs := append([]*Coalescer(nil), s.coalescers...)
+	s.mu.Unlock()
+	for _, q := range qs {
+		q.Close()
 	}
 }
 
@@ -201,6 +218,7 @@ func (s *Service) Stats() Stats {
 		st.Coalesce.SizeFlushes += cs.SizeFlushes
 		st.Coalesce.TimerFlushes += cs.TimerFlushes
 		st.Coalesce.DirectRuns += cs.DirectRuns
+		st.Coalesce.StreamRuns += cs.StreamRuns
 		if cs.MaxBatch > st.Coalesce.MaxBatch {
 			st.Coalesce.MaxBatch = cs.MaxBatch
 		}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCoalesceStreamBulk pins the streaming direct path: a request at or
+// above StreamMinLanes is served by the chunked pipeline, counted in
+// StreamRuns, and bit-identical to RunBatchWords — including the awkward
+// lane counts around chunk edges.
+func TestCoalesceStreamBulk(t *testing.T) {
+	e := mustCompile(t, kStage)
+	q := NewCoalescer(e.Compiled, CoalescerConfig{
+		MaxBatchLanes: 64, Window: -1, StreamMinLanes: 512,
+	})
+	defer q.Close()
+	rng := rand.New(rand.NewSource(11))
+	var streamed int64
+	for _, lanes := range []int{512, 513, 1023, 4096, 4097} {
+		batch := randBatch(rng, e.InputNames, lanes)
+		in, _ := packWords(e.InputNames, batch)
+		want, err := e.Compiled.RunBatchWords(in, lanes, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Submit(in, lanes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWordsEqual(t, "streamed bulk run", got, want)
+		streamed++
+		st := q.Stats()
+		if st.StreamRuns != streamed {
+			t.Fatalf("lanes %d: StreamRuns = %d, want %d", lanes, st.StreamRuns, streamed)
+		}
+		if st.DirectRuns != streamed {
+			t.Fatalf("lanes %d: DirectRuns = %d, want %d", lanes, st.DirectRuns, streamed)
+		}
+	}
+
+	// Below the threshold but above the batch cap: direct, not streamed.
+	batch := randBatch(rng, e.InputNames, 100)
+	in, _ := packWords(e.InputNames, batch)
+	if _, err := q.Submit(in, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.StreamRuns != streamed {
+		t.Fatalf("sub-threshold request streamed: StreamRuns = %d, want %d", st.StreamRuns, streamed)
+	}
+}
+
+// TestCoalesceStreamDisabled: a negative threshold keeps every bulk
+// request on the materializing batch path.
+func TestCoalesceStreamDisabled(t *testing.T) {
+	e := mustCompile(t, kMaj)
+	q := NewCoalescer(e.Compiled, CoalescerConfig{
+		MaxBatchLanes: 64, Window: -1, StreamMinLanes: -1,
+	})
+	defer q.Close()
+	rng := rand.New(rand.NewSource(12))
+	batch := randBatch(rng, e.InputNames, 8192)
+	in, _ := packWords(e.InputNames, batch)
+	want, err := e.Compiled.RunBatchWords(in, 8192, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Submit(in, 8192, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordsEqual(t, "stream-disabled bulk run", got, want)
+	if st := q.Stats(); st.StreamRuns != 0 {
+		t.Fatalf("StreamRuns = %d with streaming disabled", st.StreamRuns)
+	}
+}
+
+// TestCoalesceStreamAfterClose: Close releases the pipeline; later bulk
+// requests still succeed (batch-path fallback), and Close is idempotent.
+func TestCoalesceStreamAfterClose(t *testing.T) {
+	e := mustCompile(t, kParity)
+	q := NewCoalescer(e.Compiled, CoalescerConfig{
+		MaxBatchLanes: 64, Window: -1, StreamMinLanes: 256,
+	})
+	rng := rand.New(rand.NewSource(13))
+	batch := randBatch(rng, e.InputNames, 1024)
+	in, _ := packWords(e.InputNames, batch)
+	if _, err := q.Submit(in, 1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	q.Close()
+	want, err := e.Compiled.RunBatchWords(in, 1024, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Submit(in, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordsEqual(t, "post-close bulk run", got, want)
+	if st := q.Stats(); st.StreamRuns != 1 {
+		t.Fatalf("StreamRuns = %d after Close, want 1 (pre-close only)", st.StreamRuns)
+	}
+}
+
+// TestServiceStreamConfig: the service passes the threshold through and
+// sums StreamRuns; Close shuts the pipelines down service-wide.
+func TestServiceStreamConfig(t *testing.T) {
+	s := NewService(Config{Window: -1, StreamMinLanes: 512, Backend: BackendCIM})
+	e, err := s.CompileC(kMux, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	batch := randBatch(rng, e.InputNames, 2000)
+	in, _ := packWords(e.InputNames, batch)
+	want, err := e.Compiled.RunBatchWords(in, 2000, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.RunWords(e, in, 2000, nil, BackendCIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordsEqual(t, "service streamed run", got, want)
+	if st := s.Stats(); st.Coalesce.StreamRuns != 1 {
+		t.Fatalf("service StreamRuns = %d, want 1", st.Coalesce.StreamRuns)
+	}
+	s.Close()
+}

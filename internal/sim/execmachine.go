@@ -91,6 +91,25 @@ func (m *ExecMachine) Reset(lanes int) {
 	m.faults = nil
 }
 
+// setLanes retargets the active-lane geometry without Reset's scratch
+// clears. The streaming pipeline uses it between chunks: pack overwrites
+// every input slot's active words before Run, and fault injection is never
+// armed on streamed machines, so the clears would be pure per-chunk
+// overhead (for wide blocks, tens of kilobytes per chunk).
+func (m *ExecMachine) setLanes(lanes int) {
+	if lanes < 1 || lanes > m.MaxLanes() {
+		panic(fmt.Sprintf("sim: lane count %d outside [1,%d]", lanes, m.MaxLanes()))
+	}
+	m.lanes = lanes
+	m.activeWords = (lanes + WordLanes - 1) / WordLanes
+	if rem := lanes % WordLanes; rem == 0 {
+		m.lastMask = ^uint64(0)
+	} else {
+		m.lastMask = uint64(1)<<uint(rem) - 1
+	}
+	m.faults = nil
+}
+
 // MaskWord returns the live-lane mask of block word b (bit l set iff lane
 // 64b+l is active); words at or past the active count mask to zero.
 func (m *ExecMachine) MaskWord(b int) uint64 {
@@ -332,6 +351,32 @@ func (m *ExecMachine) ReadOutWord(p layout.Place, b int) (uint64, error) {
 		return 0, fmt.Errorf("sim: readout of undefined cell %v", p)
 	}
 	return m.cells[off*m.block+b] & m.MaskWord(b), nil
+}
+
+// OutWords is the bulk counterpart of ReadOutWord for streaming readout:
+// it copies every active block word of the stored lanes at p into dst
+// (word b = lanes 64b..64b+63, dead lanes of the last word masked to
+// zero) and returns how many words it wrote. The bounds and definedness
+// checks run once per call instead of once per word.
+func (m *ExecMachine) OutWords(p layout.Place, dst []uint64) (int, error) {
+	e := m.e
+	aw := m.activeWords
+	if len(dst) < aw {
+		return 0, fmt.Errorf("sim: readout buffer has %d words, need %d", len(dst), aw)
+	}
+	if p.Array < 0 || p.Array >= e.space.Arrays ||
+		p.Col < 0 || p.Col >= e.space.BufCols ||
+		p.Row < 0 || p.Row >= e.space.Rows {
+		return 0, fmt.Errorf("sim: readout of undefined cell %v", p)
+	}
+	off := e.cellOff(p.Array, p.Col, p.Row)
+	if !e.defined[off] {
+		return 0, fmt.Errorf("sim: readout of undefined cell %v", p)
+	}
+	base := off * m.block
+	copy(dst[:aw], m.cells[base:base+aw])
+	dst[aw-1] &= m.lastMask
+	return aw, nil
 }
 
 // execFaultModel is the geometric-skip sampler of laneFaultModel with the

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+)
+
+// streamTestProg is a 2-input AND kernel with its output at [0][0][2].
+func streamTestProg(t *testing.T) *Exec {
+	t.Helper()
+	text := `
+Write [0][0][0] <a>
+Write [0][0][1] <b>
+Read [0][0][0,1] [AND]
+Write [0][0][2]
+`
+	p, err := isa.ParseProgram(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Predecode(p, smallTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+var streamOutPlace = layout.Place{Array: 0, Col: 0, Row: 2}
+
+// streamInputs builds slot-major packed inputs (stride W) with a
+// deterministic pseudo-random fill, returning the block and the expected
+// AND output (dead lanes zeroed).
+func streamInputs(e *Exec, lanes int) (in, want []uint64) {
+	W := (lanes + 63) / 64
+	sa, _ := e.Slot("a")
+	sb, _ := e.Slot("b")
+	in = make([]uint64, e.NumSlots()*W)
+	want = make([]uint64, W)
+	x := uint64(0x9e3779b97f4a7c15)
+	for w := 0; w < W; w++ {
+		x ^= x << 13
+		x ^= x >> 7
+		a := x * 0x2545f4914f6cdd1d
+		x ^= x << 17
+		b := x * 0x9e3779b97f4a7c15
+		in[sa*W+w] = a
+		in[sb*W+w] = b
+		want[w] = a & b
+	}
+	if rem := lanes % 64; rem != 0 {
+		want[W-1] &= uint64(1)<<uint(rem) - 1
+	}
+	return in, want
+}
+
+// streamCollect runs one stream over lanes and gathers the output words
+// into a full-width block via pack/reduce callbacks.
+func streamCollect(t *testing.T, e *Exec, st *Stream, lanes int) []uint64 {
+	t.Helper()
+	W := (lanes + 63) / 64
+	in, _ := streamInputs(e, lanes)
+	got := make([]uint64, W)
+	numIn := e.NumSlots()
+	var mu sync.Mutex
+	pack := func(m *ExecMachine, chunk, start, n int) error {
+		w0 := start / 64
+		gw := (n + 63) / 64
+		B := m.BlockWords()
+		dst := m.InputBlock()
+		for s := 0; s < numIn; s++ {
+			copy(dst[s*B:s*B+gw], in[s*W+w0:s*W+w0+gw])
+		}
+		return nil
+	}
+	bufs := make([][]uint64, st.Shards())
+	for i := range bufs {
+		bufs[i] = make([]uint64, st.BlockWords())
+	}
+	reduce := func(shard int, m *ExecMachine, chunk, start, n int) error {
+		buf := bufs[shard]
+		cw, err := m.OutWords(streamOutPlace, buf)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		copy(got[start/64:start/64+cw], buf[:cw])
+		mu.Unlock()
+		return nil
+	}
+	if err := st.Run(lanes, pack, reduce); err != nil {
+		t.Fatalf("stream run (%d lanes): %v", lanes, err)
+	}
+	return got
+}
+
+// TestStreamMatchesReference drives the pipeline across awkward chunk
+// edges in both overlap modes and at several shard counts; every word of
+// the streamed output must equal the host-computed AND.
+func TestStreamMatchesReference(t *testing.T) {
+	e := streamTestProg(t)
+	laneCases := []int{1, 63, 64, 65, 127, 128, 129, 255, 256, 257, 1000, 1023, 1024, 1025}
+	for _, serial := range []bool{false, true} {
+		for _, shards := range []int{1, 3} {
+			st, err := NewStream(e, StreamConfig{BlockWords: 2, Shards: shards, Serial: serial})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, lanes := range laneCases {
+				_, want := streamInputs(e, lanes)
+				got := streamCollect(t, e, st, lanes)
+				for w := range want {
+					if got[w] != want[w] {
+						t.Errorf("serial=%v shards=%d lanes=%d: word %d = %#x, want %#x",
+							serial, shards, lanes, w, got[w], want[w])
+					}
+				}
+			}
+			st.Close()
+		}
+	}
+}
+
+// TestStreamReuse pins the zero-steady-state contract's precondition: one
+// Stream must produce correct results across many back-to-back runs of
+// varying width.
+func TestStreamReuse(t *testing.T) {
+	e := streamTestProg(t)
+	st, err := NewStream(e, StreamConfig{BlockWords: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 20; i++ {
+		lanes := 1 + (i*97)%500
+		_, want := streamInputs(e, lanes)
+		got := streamCollect(t, e, st, lanes)
+		for w := range want {
+			if got[w] != want[w] {
+				t.Fatalf("run %d lanes=%d: word %d = %#x, want %#x", i, lanes, w, got[w], want[w])
+			}
+		}
+	}
+}
+
+// TestStreamLowestChunkError: when several chunks fail, Run reports the
+// one a sequential run would have hit first.
+func TestStreamLowestChunkError(t *testing.T) {
+	e := streamTestProg(t)
+	for _, serial := range []bool{false, true} {
+		st, err := NewStream(e, StreamConfig{BlockWords: 1, Shards: 3, Serial: serial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pack := func(m *ExecMachine, chunk, start, n int) error {
+			if chunk >= 2 {
+				return fmt.Errorf("boom chunk %d", chunk)
+			}
+			clear(m.InputBlock())
+			return nil
+		}
+		reduce := func(shard int, m *ExecMachine, chunk, start, n int) error { return nil }
+		err = st.Run(64*64, pack, reduce)
+		if err == nil || !strings.Contains(err.Error(), "boom chunk 2") {
+			t.Errorf("serial=%v: want lowest-chunk error 'boom chunk 2', got %v", serial, err)
+		}
+		// The stream must stay usable after a failed run.
+		if err := st.Run(100, pack2OK(e), reduce); err != nil {
+			t.Errorf("serial=%v: run after failure: %v", serial, err)
+		}
+		st.Close()
+	}
+}
+
+func pack2OK(e *Exec) PackFunc {
+	return func(m *ExecMachine, chunk, start, n int) error {
+		clear(m.InputBlock())
+		return nil
+	}
+}
+
+// TestStreamReduceError propagates reducer failures too.
+func TestStreamReduceError(t *testing.T) {
+	e := streamTestProg(t)
+	st, err := NewStream(e, StreamConfig{BlockWords: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reduce := func(shard int, m *ExecMachine, chunk, start, n int) error {
+		if chunk == 1 {
+			return fmt.Errorf("reduce boom")
+		}
+		return nil
+	}
+	if err := st.Run(64*8, pack2OK(e), reduce); err == nil || !strings.Contains(err.Error(), "reduce boom") {
+		t.Errorf("want reduce error, got %v", err)
+	}
+}
+
+// TestStreamClose: Close is idempotent and Run after Close fails cleanly.
+func TestStreamClose(t *testing.T) {
+	e := streamTestProg(t)
+	st, err := NewStream(e, StreamConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st.Close()
+	err = st.Run(64, pack2OK(e), func(int, *ExecMachine, int, int, int) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Run on closed stream: got %v", err)
+	}
+}
+
+// TestStreamAutoBlockWords: auto sizing stays within its documented
+// bounds and gives tiny kernels wide chunks.
+func TestStreamAutoBlockWords(t *testing.T) {
+	e := streamTestProg(t)
+	b := autoBlockWords(e)
+	if b < DefaultBlockWords || b > MaxStreamBlockWords {
+		t.Fatalf("autoBlockWords = %d outside [%d,%d]", b, DefaultBlockWords, MaxStreamBlockWords)
+	}
+	if b != MaxStreamBlockWords {
+		t.Errorf("tiny kernel should auto-size to the cap, got %d", b)
+	}
+	st, err := NewStream(e, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.ChunkLanes() != b*WordLanes {
+		t.Errorf("ChunkLanes = %d, want %d", st.ChunkLanes(), b*WordLanes)
+	}
+}

@@ -368,6 +368,10 @@ func (c *Compiled) RunWithFaults(inputs map[string]bool, seed int64) (map[string
 // parallelism workers (0 selects runtime.GOMAXPROCS(0)) with per-worker
 // pooled machine state. Outputs come back in input order, bit-for-bit
 // identical to calling Run sequentially.
+//
+// Ownership: the returned maps are freshly allocated on every call and
+// never retained or pooled by the library — the caller may keep, mutate,
+// or discard them freely without affecting any later batch.
 func (c *Compiled) RunBatch(batch []map[string]bool, parallelism int) ([]map[string]bool, error) {
 	outs := make([]map[string]bool, len(batch))
 	if err := c.RunBatchInto(batch, outs, parallelism); err != nil {
@@ -381,6 +385,14 @@ func (c *Compiled) RunBatch(batch []map[string]bool, parallelism int) ([]map[str
 // cleared and refilled. Long-running callers (the serving layer, load
 // generators) reuse the same outs across calls, eliminating the per-lane
 // map allocation that dominates RunBatch's churn.
+//
+// Ownership: outs and its maps belong to the caller. The library writes
+// them only during the call — each non-nil map is cleared (stale keys
+// from any caller mutation included) and refilled with exactly the
+// program's outputs; no reference is held afterwards. Mutating the maps
+// between calls therefore cannot corrupt a later batch. The one sharp
+// edge: aliasing the same map into several outs slots leaves it holding
+// only the last-filled lane's outputs.
 func (c *Compiled) RunBatchInto(batch []map[string]bool, outs []map[string]bool, parallelism int) error {
 	if len(outs) != len(batch) {
 		return fmt.Errorf("sherlock: RunBatchInto: %d output slots for %d inputs", len(outs), len(batch))
@@ -641,7 +653,7 @@ func (c *Compiled) run(inputs map[string]bool, faults bool, seed int64) (map[str
 	defer c.machines.Put(m)
 	m.Reset(1)
 	words := make(map[string]uint64, len(inputs))
-	for k, v := range inputs {
+	for k, v := range inputs { //sherlock:allow rangemap (map-to-map rekeying; order-insensitive)
 		var w uint64
 		if v {
 			w = 1
