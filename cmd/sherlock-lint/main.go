@@ -9,12 +9,22 @@
 //
 //	sherlock-lint [-target 4x512x512] [-tech STT-MRAM] [-werror] prog.cim...
 //	sherlock-lint -array-size 512 -arrays 4 prog.cim...
+//	sherlock-lint -equiv -workload aes:rounds=2 -target 4x512x512 prog.cim...
 //
 // -array-size derives the fabric from the paper's Table 1 geometry
 // (arraymodel.DefaultConfig) instead of spelling it out; -tech additionally
-// bounds multi-row activations by the technology's limit. The exit status
-// is 0 for verifier-clean programs, 1 when any program carries an error
-// (or, with -werror, a warning), 2 on usage or parse failures.
+// bounds multi-row activations by the technology's limit.
+//
+// -equiv switches the tool into translation-validation mode: each program
+// is symbolically executed into an AIG and statically proven equivalent to
+// the kernel named by -workload. The readout contract comes from the
+// program's `.outputs` manifest sidecar (prog.outputs next to prog.cim, as
+// written by goldengen). On a refutation the failing output, a concrete
+// input assignment, and the expected/actual bits are printed.
+//
+// The exit status is 0 for verifier-clean (or fully proven) programs, 1
+// when any program carries an error, a refuted or unproven output (or,
+// with -werror, a warning), 2 on usage or parse failures.
 package main
 
 import (
@@ -27,9 +37,13 @@ import (
 
 	"sherlock/internal/arraymodel"
 	"sherlock/internal/device"
+	"sherlock/internal/dfg"
 	"sherlock/internal/isa"
 	"sherlock/internal/layout"
 	"sherlock/internal/verify"
+	"sherlock/internal/workloads/aes"
+	"sherlock/internal/workloads/bitweaving"
+	"sherlock/internal/workloads/sobel"
 )
 
 func main() {
@@ -46,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tech      = fs.String("tech", "STT-MRAM", "technology whose row-activation limit bounds scouting reads")
 		werror    = fs.Bool("werror", false, "exit non-zero on warnings too")
 		quiet     = fs.Bool("quiet", false, "suppress per-file summary lines")
+		equiv     = fs.Bool("equiv", false, "translation-validation mode: prove each program equivalent to the -workload kernel")
+		workload  = fs.String("workload", "", "kernel spec for -equiv, e.g. aes:rounds=2, bitweaving:bits=16,segments=8, sobel:tilew=2,tileh=2,bits=8,threshold=128")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +84,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *arraySize > 0 {
 		t = arraymodel.DefaultConfig(tv, *arraySize).Target(*arrays)
+	}
+	if *equiv {
+		kernel, err := buildWorkload(*workload)
+		if err != nil {
+			fmt.Fprintln(stderr, "sherlock-lint:", err)
+			return 2
+		}
+		return runEquiv(fs.Args(), t, kernel, *quiet, stdout, stderr)
 	}
 
 	failed := false
@@ -105,6 +129,138 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runEquiv proves every program equivalent to kernel, reading each file's
+// readout contract from its `.outputs` sidecar.
+func runEquiv(paths []string, t layout.Target, kernel *dfg.Graph, quiet bool, stdout, stderr io.Writer) int {
+	failed := false
+	for _, path := range paths {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "sherlock-lint:", err)
+			return 2
+		}
+		prog, err := isa.ParseProgram(string(text))
+		if err != nil {
+			fmt.Fprintf(stderr, "sherlock-lint: %s: %v\n", path, err)
+			return 2
+		}
+		mpath := manifestPath(path)
+		mtext, err := os.ReadFile(mpath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sherlock-lint: %s: readout manifest: %v\n", path, err)
+			return 2
+		}
+		outs, err := verify.ParseOutputs(string(mtext))
+		if err != nil {
+			fmt.Fprintf(stderr, "sherlock-lint: %s: %v\n", mpath, err)
+			return 2
+		}
+		rep, err := verify.EquivalentOpts(prog, t, kernel, outs, verify.EquivOptions{})
+		if err != nil {
+			fmt.Fprintf(stdout, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		proven := 0
+		for _, o := range rep.Outputs {
+			switch {
+			case o.Counter != nil:
+				m := o.Counter
+				fmt.Fprintf(stdout, "%s: output %q REFUTED (%s): program computes %d, kernel computes %d under %s\n",
+					path, o.Name, o.Method, b2i(m.Got), b2i(m.Want), m.AssignmentString(16))
+			case o.Method == "unproven":
+				fmt.Fprintf(stdout, "%s: output %q UNPROVEN within budget\n", path, o.Name)
+			default:
+				proven++
+			}
+		}
+		if !rep.AllProven() {
+			failed = true
+		}
+		if !quiet {
+			fmt.Fprintf(stdout, "%s: %d instructions, %d/%d outputs proven (%d AIG nodes)\n",
+				path, len(prog), proven, len(rep.Outputs), rep.Nodes)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// manifestPath maps prog.cim (or prog.golden) to its readout sidecar
+// prog.outputs.
+func manifestPath(path string) string {
+	if i := strings.LastIndexByte(path, '.'); i > strings.LastIndexByte(path, '/') {
+		return path[:i] + ".outputs"
+	}
+	return path + ".outputs"
+}
+
+// buildWorkload constructs the reference kernel from a spec of the form
+// name:key=value,... — the same workload generators the golden corpus and
+// the paper's evaluation use.
+func buildWorkload(spec string) (*dfg.Graph, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-equiv requires -workload (e.g. aes:rounds=2)")
+	}
+	name, rest, _ := strings.Cut(spec, ":")
+	kv := map[string]int{}
+	if rest != "" {
+		for _, pair := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return nil, fmt.Errorf("workload %q: parameter %q not of form key=value", spec, pair)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("workload %q: parameter %q: %v", spec, pair, err)
+			}
+			kv[strings.ToLower(k)] = n
+		}
+	}
+	get := func(key string, def int) int {
+		if v, ok := kv[key]; ok {
+			delete(kv, key)
+			return v
+		}
+		return def
+	}
+	var (
+		g   *dfg.Graph
+		err error
+	)
+	switch name {
+	case "aes":
+		g, err = aes.Build(aes.Config{Rounds: get("rounds", 2)})
+	case "bitweaving":
+		g, err = bitweaving.Build(bitweaving.Config{Bits: get("bits", 16), Segments: get("segments", 8)})
+	case "sobel":
+		g, err = sobel.Build(sobel.Config{
+			TileW:     get("tilew", 2),
+			TileH:     get("tileh", 2),
+			PixelBits: get("bits", 8),
+			Threshold: uint64(get("threshold", 128)),
+		})
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want aes, bitweaving, or sobel)", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workload %q: %v", spec, err)
+	}
+	for k := range kv { //sherlock:allow rangemap (error path; any leftover key aborts)
+		return nil, fmt.Errorf("workload %q: unknown parameter %q", spec, k)
+	}
+	return g, nil
 }
 
 func parseTarget(s string) (layout.Target, error) {

@@ -6,6 +6,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/logic"
+	"sherlock/internal/mapping"
+	"sherlock/internal/verify"
+	"sherlock/internal/workloads/bitweaving"
 )
 
 // writeProg writes instruction text to a temp file so the test exercises the
@@ -98,6 +105,105 @@ func TestLintArraySizeGeometry(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "error[bounds]") {
 		t.Fatalf("expected bounds error, got:\n%s", out.String())
+	}
+}
+
+// writeEquivCase maps the given workload kernel and writes the program and
+// its .outputs manifest side by side, as goldengen would.
+func writeEquivCase(t *testing.T, mutate func(isa.Program) isa.Program) (progPath string) {
+	t.Helper()
+	g, err := bitweaving.Build(bitweaving.Config{Bits: 2, Segments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapping.Optimized(g, mapping.Options{
+		Target: layout.Target{Arrays: 1, Rows: 64, Cols: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := res.Program
+	if mutate != nil {
+		prog = mutate(append(isa.Program(nil), prog...))
+	}
+	outs := res.Graph.Outputs()
+	specs := make([]verify.OutputAt, len(outs))
+	for i, o := range outs {
+		p, err := res.OutputPlace(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = verify.OutputAt{Name: res.Graph.OutputName(o), Place: p}
+	}
+	dir := t.TempDir()
+	progPath = filepath.Join(dir, "prog.cim")
+	if err := os.WriteFile(progPath, []byte(prog.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "prog.outputs"), []byte(verify.FormatOutputs(specs)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return progPath
+}
+
+func TestLintEquivProvesFaithfulProgram(t *testing.T) {
+	path := writeEquivCase(t, nil)
+	var out, errb bytes.Buffer
+	code := run([]string{"-equiv", "-workload", "bitweaving:bits=2,segments=1", "-target", "1x64x64", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "outputs proven") {
+		t.Fatalf("missing proof summary:\n%s", out.String())
+	}
+}
+
+func TestLintEquivPrintsCounterexample(t *testing.T) {
+	path := writeEquivCase(t, func(p isa.Program) isa.Program {
+		for i := range p {
+			if p[i].IsCIMRead() {
+				ops := append([]logic.Op(nil), p[i].Ops...)
+				if inv, ok := ops[0].Inverse(); ok {
+					ops[0] = inv
+					p[i].Ops = ops
+					return p
+				}
+			}
+		}
+		t.Fatal("no CIM read to corrupt")
+		return p
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-equiv", "-workload", "bitweaving:bits=2,segments=1", "-target", "1x64x64", path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	got := out.String()
+	for _, frag := range []string{"REFUTED", "program computes", "kernel computes", "="} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("counterexample rendering missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestLintEquivUsageFailures(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-equiv", "x.cim"}, &out, &errb); code != 2 {
+		t.Fatalf("missing -workload: exit %d, want 2", code)
+	}
+	if code := run([]string{"-equiv", "-workload", "fft:n=8", "x.cim"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown workload: exit %d, want 2", code)
+	}
+	if code := run([]string{"-equiv", "-workload", "aes:bogus=1", "x.cim"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown parameter: exit %d, want 2", code)
+	}
+	if code := run([]string{"-equiv", "-workload", "aes:rounds", "x.cim"}, &out, &errb); code != 2 {
+		t.Fatalf("malformed parameter: exit %d, want 2", code)
+	}
+	// A program file without its .outputs sidecar is a usage failure.
+	prog := writeProg(t, "Write [0][0][0] <x>\nRead [0][0][0]\nWrite [0][0][1]\n")
+	if code := run([]string{"-equiv", "-workload", "bitweaving:bits=2,segments=1", prog}, &out, &errb); code != 2 {
+		t.Fatalf("missing manifest: exit %d, want 2", code)
 	}
 }
 

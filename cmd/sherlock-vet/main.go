@@ -17,10 +17,15 @@
 //	sprintfkey — indexing a map with fmt.Sprintf(...): formatted-string
 //	             keys invite collisions and hide the real key structure;
 //	             use a comparable struct key.
+//	staleallow — a `//sherlock:allow` directive that suppressed nothing.
+//	             Stale escape hatches outlive refactors and then silently
+//	             waive the next real finding on that line; delete them.
 //
 // A finding is suppressed by `//sherlock:allow <check>` on the same line or
 // the line directly above — the escape hatch for ranges that re-sort before
-// publishing and similar audited cases.
+// publishing and similar audited cases. Every directive must earn its keep:
+// one that matches no finding is itself reported (staleallow) and cannot be
+// suppressed.
 //
 // Usage:
 //
@@ -29,10 +34,12 @@
 // Packages default to the deterministic core: the root facade (which now
 // carries the streaming execution layer), internal/mapping,
 // internal/sim, internal/experiments, internal/isa, internal/readyq,
-// plus the serving layer (internal/serve, internal/memo, internal/pool)
-// and the analytics workload builders (internal/workloads/analytics),
-// whose coalesced outputs must be bit-identical however batches compose.
-// Directories are scanned
+// plus the serving layer (internal/serve, internal/memo, internal/pool),
+// the analytics workload builders (internal/workloads/analytics),
+// whose coalesced outputs must be bit-identical however batches compose,
+// and the equivalence-proof stack (internal/aig, internal/verify,
+// internal/coopt), where nondeterminism would make proofs and
+// counterexamples irreproducible. Directories are scanned
 // non-recursively and _test.go files are skipped. Exit status: 0 clean,
 // 1 findings, 2 parse/usage failure.
 package main
@@ -63,6 +70,7 @@ var defaultDirs = []string{
 	"internal/pool",
 	"internal/aig",
 	"internal/coopt",
+	"internal/verify",
 	"internal/workloads/analytics",
 }
 
@@ -136,6 +144,18 @@ type checkedPkg struct {
 	fset  *token.FileSet
 	// allowed maps file -> line -> set of checks suppressed on that line.
 	allowed map[string]map[int]map[string]bool
+	// used records which collected directives actually suppressed a
+	// finding during vet(); the rest are reported as staleallow.
+	used map[allowKey]bool
+}
+
+// allowKey identifies one check name within one //sherlock:allow directive.
+// A comparable struct key, not a formatted string — exactly what the
+// sprintfkey check asks of everyone else.
+type allowKey struct {
+	file  string
+	line  int
+	check string
 }
 
 func newLoader(root string) *loader {
@@ -178,7 +198,7 @@ func (l *loader) loadDir(dir string) (*checkedPkg, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &checkedPkg{fset: l.fset, allowed: map[string]map[int]map[string]bool{}}
+	pkg := &checkedPkg{fset: l.fset, allowed: map[string]map[int]map[string]bool{}, used: map[allowKey]bool{}}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -244,7 +264,13 @@ func (p *checkedPkg) collectAllows(file *ast.File) {
 
 func (p *checkedPkg) isAllowed(pos token.Position, check string) bool {
 	lines := p.allowed[pos.Filename]
-	return lines[pos.Line][check] || lines[pos.Line-1][check]
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if lines[line][check] {
+			p.used[allowKey{pos.Filename, line, check}] = true
+			return true
+		}
+	}
+	return false
 }
 
 func (p *checkedPkg) vet() []finding {
@@ -268,6 +294,25 @@ func (p *checkedPkg) vet() []finding {
 			}
 			return true
 		})
+	}
+	// Stale-allow sweep: a directive that suppressed nothing is itself a
+	// finding — an unearned waiver that will silently swallow the next real
+	// finding on its line. Appended unconditionally (no isAllowed): the
+	// escape hatch cannot excuse itself. The caller sorts findings, so
+	// ranging over the directive maps here is order-insensitive.
+	for file, lines := range p.allowed { //sherlock:allow rangemap (findings re-sorted by caller)
+		for line, set := range lines { //sherlock:allow rangemap
+			for check := range set { //sherlock:allow rangemap
+				if p.used[allowKey{file, line, check}] {
+					continue
+				}
+				out = append(out, finding{
+					pos:   token.Position{Filename: file, Line: line, Column: 1},
+					check: "staleallow",
+					msg:   fmt.Sprintf("//sherlock:allow %s suppresses no finding; delete the stale directive", check),
+				})
+			}
+		}
 	}
 	return out
 }

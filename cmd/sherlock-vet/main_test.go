@@ -101,6 +101,63 @@ func f(m map[string]int) (s int) {
 	}
 }
 
+func TestVetStaleAllow(t *testing.T) {
+	// A directive that suppresses nothing is itself a finding, anchored at
+	// the directive's line.
+	code, out := vetSrc(t, `package pkg
+func f(xs []int) (s int) {
+	//sherlock:allow rangemap (left behind after a refactor)
+	for _, v := range xs {
+		s += v
+	}
+	return
+}
+`)
+	if code != 1 || !strings.Contains(out, "staleallow") {
+		t.Fatalf("stale directive not reported: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "x.go:3:1: staleallow") {
+		t.Fatalf("finding not anchored at the directive: %q", out)
+	}
+	if !strings.Contains(out, "//sherlock:allow rangemap suppresses no finding") {
+		t.Fatalf("message does not name the stale check: %q", out)
+	}
+}
+
+func TestVetStaleAllowPerCheck(t *testing.T) {
+	// One directive naming two checks: the matched check is earned, the
+	// unmatched one is stale — staleness is tracked per check name, not per
+	// comment.
+	code, out := vetSrc(t, `package pkg
+func f(m map[string]int) (s int) {
+	for _, v := range m { //sherlock:allow rangemap,walltime
+		s += v
+	}
+	return
+}
+`)
+	if code != 1 {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "staleallow") || !strings.Contains(out, "walltime suppresses no finding") {
+		t.Fatalf("unmatched check of a shared directive not reported: %q", out)
+	}
+	if strings.Contains(out, "rangemap suppresses no finding") {
+		t.Fatalf("earned check flagged stale: %q", out)
+	}
+}
+
+func TestVetStaleAllowCannotExcuseItself(t *testing.T) {
+	code, out := vetSrc(t, `package pkg
+//sherlock:allow staleallow
+//sherlock:allow rangemap
+func f() {}
+`)
+	if code != 1 || strings.Count(out, "staleallow:") != 2 {
+		t.Fatalf("directives excused themselves: code=%d out=%q", code, out)
+	}
+}
+
 func TestVetWallClock(t *testing.T) {
 	code, out := vetSrc(t, `package pkg
 import clock "time"

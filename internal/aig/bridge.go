@@ -37,8 +37,11 @@ func (c *Cone) Size() int { return ConeSize(c.G, c.Outs) }
 // LiftDFG folds a boolean DFG into an AIG: every sense op becomes AND
 // structure (inverted ops become complement edges, XOR its three-AND
 // encoding), NOT becomes a complement, COPY an alias. Multi-operand ops
-// fold left. The result is the substrate the resynthesis passes operate
-// on; Lower inverts the encoding.
+// fold through the canonical sorted n-ary constructors (AndN/OrN/XorN), so
+// operand order never changes the built structure — the property the
+// translation validator (internal/verify.Equivalent) relies on to discharge
+// mapper output against the kernel by literal equality. The result is the
+// substrate the resynthesis passes operate on; Lower inverts the encoding.
 func LiftDFG(src *dfg.Graph) (*Cone, error) {
 	ins := src.Inputs()
 	g := New(len(ins))
@@ -49,39 +52,35 @@ func LiftDFG(src *dfg.Graph) (*Cone, error) {
 		names[i] = src.Name(in)
 	}
 	var buf []dfg.NodeID
+	var ops []Lit
 	for _, op := range src.TopoOps() {
 		buf = src.AppendOpInputs(op, buf[:0])
 		if len(buf) == 0 {
 			return nil, fmt.Errorf("aig: op %d has no operands", op)
 		}
+		ops = ops[:0]
+		for _, in := range buf {
+			ops = append(ops, lits[in])
+		}
 		t := src.OpType(op)
 		var v Lit
 		switch t {
 		case logic.Not:
-			v = lits[buf[0]].Not()
+			v = ops[0].Not()
 		case logic.Copy:
-			v = lits[buf[0]]
+			v = ops[0]
 		case logic.And, logic.Nand:
-			v = lits[buf[0]]
-			for _, in := range buf[1:] {
-				v = g.And(v, lits[in])
-			}
+			v = g.AndN(ops)
 			if t == logic.Nand {
 				v = v.Not()
 			}
 		case logic.Or, logic.Nor:
-			v = lits[buf[0]]
-			for _, in := range buf[1:] {
-				v = g.Or(v, lits[in])
-			}
+			v = g.OrN(ops)
 			if t == logic.Nor {
 				v = v.Not()
 			}
 		case logic.Xor, logic.Xnor:
-			v = lits[buf[0]]
-			for _, in := range buf[1:] {
-				v = g.Xor(v, lits[in])
-			}
+			v = g.XorN(ops)
 			if t == logic.Xnor {
 				v = v.Not()
 			}

@@ -6,14 +6,18 @@
 // best mapping found and iterating until the budget or patience runs out.
 //
 // Every candidate that could be adopted must clear two independent gates
-// first: the emitted program verifies at zero findings, and the lowered DFG
-// is equivalence-fuzzed against the original kernel on packed random
-// vectors. Candidates that fail anything are rejections, never errors — the
-// baseline compile is always the floor.
+// first: the emitted program verifies at zero findings, and the scheduled
+// program is statically PROVEN equivalent to the original kernel by the
+// translation validator (internal/verify) — symbolic execution into an AIG
+// plus structural/exhaustive equivalence checking. Candidates whose proof
+// exhausts its budget fall back to packed random equivalence fuzzing; a
+// refutation is a hard rejection. Candidates that fail anything are
+// rejections, never errors — the baseline compile is always the floor.
 package coopt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sherlock/internal/aig"
 	"sherlock/internal/dfg"
@@ -139,9 +143,11 @@ type Stats struct {
 	BestObjective float64 // weighted objective of the final result vs baseline
 	AndsBefore    int     // lifted AIG size of the original kernel
 	AndsAfter     int     // AIG size of the adopted candidate (== AndsBefore if none)
-	Evaluations   int     // full candidate evaluations (lower+fuzz+map+verify+score)
+	Evaluations   int     // full candidate evaluations (lower+map+verify+prove+score)
 	CacheHits     int     // candidates served from the fingerprint memo
 	Rejected      int     // candidates rejected by any gate
+	Proved        int     // candidates statically proven equivalent (fuzz skipped)
+	FuzzBackstops int     // candidates that fell back to dynamic fuzzing (proof budget exhausted)
 	Iterations    []IterationStats
 }
 
@@ -198,13 +204,11 @@ func Optimize(g *dfg.Graph, cfg Config) (*Result, error) {
 	res.Stats.AndsAfter = orig.Size()
 
 	cache := memo.New[[32]byte, *evalOut](memo.Config[*evalOut]{MaxEntries: 256})
+	var proved, backstops atomic.Int64
 	eval := func(c *aig.Cone) (*evalOut, error) {
 		return cache.Do(c.Fingerprint(), func() (*evalOut, error) {
 			lowered, err := c.Lower()
 			if err != nil {
-				return nil, err
-			}
-			if err := FuzzEquivalence(g, lowered, cfg.FuzzWords, cfg.Seed); err != nil {
 				return nil, err
 			}
 			mapped, err := cfg.Evaluate(lowered)
@@ -213,6 +217,26 @@ func Optimize(g *dfg.Graph, cfg Config) (*Result, error) {
 			}
 			if err := VerifyMapped(mapped, cfg.MaxRows); err != nil {
 				return nil, err
+			}
+			// Translation validation against the ORIGINAL kernel: a full
+			// proof covers the resynthesis, the caller's graph transforms,
+			// and the scheduler in one pass and subsumes the fuzz. A
+			// refutation (or a malformed readout interface) rejects the
+			// candidate outright; only a budget-exhausted proof falls back
+			// to dynamic fuzzing of the lowered DFG.
+			rep, perr := ProveMapped(mapped, g)
+			switch {
+			case perr != nil:
+				return nil, perr
+			case rep.AllProven():
+				proved.Add(1)
+			case rep.AnyRefuted():
+				return nil, rep.Err()
+			default:
+				backstops.Add(1)
+				if err := FuzzEquivalence(g, lowered, cfg.FuzzWords, cfg.Seed); err != nil {
+					return nil, err
+				}
 			}
 			score, err := cfg.Score(mapped)
 			if err != nil {
@@ -279,6 +303,8 @@ func Optimize(g *dfg.Graph, cfg Config) (*Result, error) {
 	st := cache.Stats()
 	res.Stats.Evaluations = int(st.Misses)
 	res.Stats.CacheHits = int(st.Hits + st.Coalesced)
+	res.Stats.Proved = int(proved.Load())
+	res.Stats.FuzzBackstops = int(backstops.Load())
 	if bestOut != nil {
 		res.Graph = bestOut.graph
 		res.Mapped = bestOut.res

@@ -1,6 +1,7 @@
 package coopt_test
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"sync/atomic"
@@ -12,8 +13,10 @@ import (
 	"sherlock/internal/dfg"
 	"sherlock/internal/isa"
 	"sherlock/internal/layout"
+	"sherlock/internal/logic"
 	"sherlock/internal/mapping"
 	"sherlock/internal/symword"
+	"sherlock/internal/verify"
 )
 
 const (
@@ -191,6 +194,69 @@ func TestFuzzEquivalenceCatchesMutation(t *testing.T) {
 	b.Output("zz", b.And(b.Input("p"), b.Input("q")))
 	if err := coopt.FuzzEquivalence(build(false), b.Graph(), 8, 3); err == nil {
 		t.Fatal("fuzzer accepted mismatched interfaces")
+	}
+}
+
+// TestOptimizeStaticallyProves: with the translation-validation gate in
+// place, candidates should be discharged by proof, not by fuzzing.
+func TestOptimizeStaticallyProves(t *testing.T) {
+	res, err := coopt.Optimize(absKernel(8), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Proved == 0 {
+		t.Fatalf("no candidate proved statically: %+v", res.Stats)
+	}
+	if got := res.Stats.Proved + res.Stats.FuzzBackstops; got > res.Stats.Evaluations {
+		t.Fatalf("gate counters (%d) exceed evaluations (%d)", got, res.Stats.Evaluations)
+	}
+}
+
+// TestProveMappedRefutesCorruptedProgram: a single flipped fold op in an
+// otherwise valid program must be refuted with a concrete counterexample.
+func TestProveMappedRefutesCorruptedProgram(t *testing.T) {
+	g := absKernel(4)
+	res, err := testEvaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coopt.ProveMapped(res, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllProven() {
+		t.Fatalf("pristine mapping not proven: %v", rep.Err())
+	}
+	corrupted := *res
+	prog := append(isa.Program(nil), res.Program...)
+	flipped := false
+	for i := range prog {
+		if prog[i].IsCIMRead() {
+			ops := append([]logic.Op(nil), prog[i].Ops...)
+			inv, ok := ops[0].Inverse()
+			if !ok {
+				continue
+			}
+			ops[0] = inv
+			prog[i].Ops = ops
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no CIM read to corrupt")
+	}
+	corrupted.Program = prog
+	rep, err = coopt.ProveMapped(&corrupted, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AnyRefuted() {
+		t.Fatalf("flipped fold op not refuted: %v", rep.Err())
+	}
+	var me *verify.MismatchError
+	if !errors.As(rep.Err(), &me) {
+		t.Fatalf("refutation did not surface a counterexample: %v", rep.Err())
 	}
 }
 

@@ -22,6 +22,25 @@ func VerifyMapped(res *mapping.Result, maxRows int) error {
 		len(rep.Findings), rep.Findings[0])
 }
 
+// ProveMapped is the static equivalence gate: the candidate's emitted
+// program is symbolically executed into an AIG (internal/verify) and every
+// readout is discharged against the reference kernel. A fully proven
+// report subsumes the dynamic fuzz; a refuted report carries a concrete
+// counterexample; outputs that exhaust the proof budget come back
+// unproven and the caller falls back to FuzzEquivalence.
+func ProveMapped(res *mapping.Result, kernel *dfg.Graph) (*verify.EquivReport, error) {
+	outs := res.Graph.Outputs()
+	specs := make([]verify.OutputAt, len(outs))
+	for i, o := range outs {
+		p, err := res.OutputPlace(o)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = verify.OutputAt{Name: res.Graph.OutputName(o), Place: p}
+	}
+	return verify.EquivalentOpts(res.Program, res.Layout.Target(), kernel, specs, verify.EquivOptions{})
+}
+
 // FuzzEquivalence checks that cand computes the same function as ref by
 // packed random simulation: the interfaces must agree exactly (same input
 // and output name sets) and every output must match on `rounds` random

@@ -16,6 +16,7 @@ import (
 	"sherlock/internal/dfg"
 	"sherlock/internal/layout"
 	"sherlock/internal/mapping"
+	"sherlock/internal/verify"
 	"sherlock/internal/workloads/aes"
 	"sherlock/internal/workloads/bitweaving"
 	"sherlock/internal/workloads/sobel"
@@ -61,7 +62,23 @@ func main() {
 			if err := os.WriteFile(path, []byte(res.Program.String()), 0o644); err != nil {
 				panic(err)
 			}
-			fmt.Printf("%s: %d instructions\n", path, len(res.Program))
+			// The readout manifest sidecar lets tools (sherlock-lint -equiv,
+			// the golden CI gate) reconnect the pinned program to its
+			// kernel's outputs without redoing the mapping.
+			outs := res.Graph.Outputs()
+			specs := make([]verify.OutputAt, len(outs))
+			for i, o := range outs {
+				p, err := res.OutputPlace(o)
+				if err != nil {
+					panic(fmt.Sprintf("%s/%s: %v", k.name, mode, err))
+				}
+				specs[i] = verify.OutputAt{Name: res.Graph.OutputName(o), Place: p}
+			}
+			opath := filepath.Join(dir, k.name+"_"+mode+".outputs")
+			if err := os.WriteFile(opath, []byte(verify.FormatOutputs(specs)), 0o644); err != nil {
+				panic(err)
+			}
+			fmt.Printf("%s: %d instructions, %d outputs\n", path, len(res.Program), len(specs))
 		}
 	}
 }

@@ -1,0 +1,511 @@
+// Translation validation: prove, per compile, that an emitted isa.Program
+// computes the same Boolean function as the kernel DFG it was scheduled
+// from. The proof is a symbolic execution of the program over the domain of
+// AIG literals — the same abstract walk verify.Program performs over the
+// definedness lattice, with every cell and row-buffer bit carrying the
+// literal of the Boolean function it holds instead of a single defined bit:
+//
+//   - a host write binds the cell to the kernel input's literal;
+//   - a scouting read folds the activated rows' literals through the
+//     canonical And/Or/Xor constructors (inverted senses complement);
+//   - copies, cross-array writes and shifts relabel literals (shifted-in
+//     bits become undefined again);
+//   - NOT complements in place;
+//   - the readout cell of each kernel output yields the program-side
+//     literal.
+//
+// Both the program and aig.LiftDFG of the kernel build into one shared
+// graph, so a faithful compile discharges by literal equality (the mapper
+// reorders fold operands, which the canonical sorted folds absorb); anything
+// structurally deeper falls to aig.CheckOutputs' cosimulation, normalized
+// rebuild and exhaustive-table stages. A refutation carries a concrete
+// counterexample assignment; an unproven verdict is never accepted silently.
+
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sherlock/internal/aig"
+	"sherlock/internal/dfg"
+	"sherlock/internal/isa"
+	"sherlock/internal/layout"
+	"sherlock/internal/logic"
+)
+
+// OutputAt names one kernel output and the cell its final value is read
+// from — the readout contract a program does not carry on its own. The
+// facade derives these from mapping.Result; golden programs keep them in
+// sidecar ".outputs" manifests (see FormatOutputs/ParseOutputs).
+type OutputAt struct {
+	Name  string
+	Place layout.Place
+}
+
+// EquivOptions bounds the equivalence decision procedures (see
+// aig.EquivOptions; zero values select the defaults there).
+type EquivOptions struct {
+	MaxSupport int   // exhaustive-proof joint-support cap (default 16)
+	SimWords   int   // 64-lane cosimulation words (default 8)
+	Seed       int64 // cosimulation seed (default 1)
+}
+
+// Mismatch is a concrete refutation of program/kernel equivalence: an input
+// assignment on which one output differs.
+type Mismatch struct {
+	Output     string
+	Assignment map[string]bool // full kernel-input assignment
+	Want       bool            // kernel value at the assignment
+	Got        bool            // program value at the assignment
+}
+
+// AssignmentString renders the assignment sorted by input name, "a=1 b=0
+// ...", truncated after max entries (0 = everything).
+func (m *Mismatch) AssignmentString(max int) string {
+	names := make([]string, 0, len(m.Assignment))
+	for name := range m.Assignment { //sherlock:allow rangemap (sorted below)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, name := range names {
+		if max > 0 && i == max {
+			fmt.Fprintf(&sb, " … (+%d more)", len(names)-max)
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(name)
+		sb.WriteByte('=')
+		sb.WriteByte('0' + b2u(m.Assignment[name]))
+	}
+	return sb.String()
+}
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// MismatchError is the error form of a refuted equivalence check.
+type MismatchError struct {
+	Mismatch Mismatch
+}
+
+func (e *MismatchError) Error() string {
+	m := &e.Mismatch
+	return fmt.Sprintf("verify: program is not equivalent to its kernel: output %q computes %d, kernel computes %d under %s",
+		m.Output, b2u(m.Got), b2u(m.Want), m.AssignmentString(16))
+}
+
+// UnprovenError reports an output whose equivalence could not be decided
+// within the static budget — not a refutation, but never a pass either.
+type UnprovenError struct {
+	Output string
+}
+
+func (e *UnprovenError) Error() string {
+	return fmt.Sprintf("verify: equivalence of output %q is unproven within the static budget (joint support exceeds the exhaustive bound); fall back to dynamic checking",
+		e.Output)
+}
+
+// OutputEquiv is the per-output result of an equivalence check.
+type OutputEquiv struct {
+	Name    string
+	Verdict aig.Verdict
+	Method  string    // deciding procedure: strash, cosim, rebuild, table, unproven
+	Counter *Mismatch // non-nil exactly when Verdict == VerdictRefuted
+}
+
+// EquivReport is the result of one translation-validation run.
+type EquivReport struct {
+	Outputs []OutputEquiv
+	// Nodes is the AND count of the shared AIG holding both the lifted
+	// kernel and the symbolically executed program — O(program instructions
+	// + kernel ops) for a faithful compile.
+	Nodes int
+	// Stats reports the prover's rebuild/sweep/table work.
+	Stats aig.EquivStats
+}
+
+// AllProven reports whether every output discharged as proven.
+func (r *EquivReport) AllProven() bool {
+	for _, o := range r.Outputs {
+		if o.Verdict != aig.VerdictProven {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyRefuted reports whether some output was disproved outright — as
+// opposed to merely left unproven by an exhausted budget.
+func (r *EquivReport) AnyRefuted() bool {
+	for _, o := range r.Outputs {
+		if o.Verdict == aig.VerdictRefuted {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns nil when every output proved; otherwise the first refutation
+// (*MismatchError) if any exists, else the first unproven (*UnprovenError).
+func (r *EquivReport) Err() error {
+	var unproven error
+	for _, o := range r.Outputs {
+		switch o.Verdict {
+		case aig.VerdictRefuted:
+			return &MismatchError{Mismatch: *o.Counter}
+		case aig.VerdictUnproven:
+			if unproven == nil {
+				unproven = &UnprovenError{Output: o.Name}
+			}
+		}
+	}
+	return unproven
+}
+
+// Equivalent proves that program p, run on fabric t with the readout
+// contract outs, computes kernel. It returns nil exactly when every output
+// is statically proven equivalent; a refutation surfaces as *MismatchError
+// with a concrete counterexample, an exhausted budget as *UnprovenError, and
+// structural problems (invalid program, interface mismatch) as plain errors.
+func Equivalent(p isa.Program, t layout.Target, kernel *dfg.Graph, outs []OutputAt) error {
+	rep, err := EquivalentOpts(p, t, kernel, outs, EquivOptions{})
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// EquivalentOpts runs the equivalence check and returns the full per-output
+// report. The error return covers structural failures only; consult
+// EquivReport.Err for the verdicts.
+func EquivalentOpts(p isa.Program, t layout.Target, kernel *dfg.Graph, outs []OutputAt, opt EquivOptions) (*EquivReport, error) {
+	// The base verifier is the precondition: bounds, structural invariants
+	// and def-before-use must hold before literals can be propagated at all.
+	if err := ProgramOpts(p, t, Options{}).Err(); err != nil {
+		return nil, fmt.Errorf("verify: program rejected before equivalence checking: %w", err)
+	}
+	cone, err := aig.LiftDFG(kernel)
+	if err != nil {
+		return nil, fmt.Errorf("verify: kernel is outside the liftable op set: %w", err)
+	}
+	inIdx := make(map[string]int, len(cone.InputNames))
+	for i, name := range cone.InputNames {
+		inIdx[name] = i
+	}
+
+	ex := newSymExec(p, t, cone.G, inIdx)
+	if err := ex.run(); err != nil {
+		return nil, err
+	}
+
+	kernLit := make(map[string]aig.Lit, len(cone.Outs))
+	for i, name := range cone.OutputNames {
+		kernLit[name] = cone.Outs[i]
+	}
+	progLits := make([]aig.Lit, 0, len(outs))
+	kernLits := make([]aig.Lit, 0, len(outs))
+	names := make([]string, 0, len(outs))
+	seen := make(map[string]bool, len(outs))
+	for _, o := range outs {
+		want, ok := kernLit[o.Name]
+		if !ok {
+			return nil, fmt.Errorf("verify: readout names %q, which is not a kernel output", o.Name)
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("verify: duplicate readout for output %q", o.Name)
+		}
+		seen[o.Name] = true
+		got, err := ex.cellAt(o.Place)
+		if err != nil {
+			return nil, fmt.Errorf("verify: output %q: %w", o.Name, err)
+		}
+		progLits = append(progLits, got)
+		kernLits = append(kernLits, want)
+		names = append(names, o.Name)
+	}
+	if len(seen) != len(cone.OutputNames) {
+		for _, name := range cone.OutputNames {
+			if !seen[name] {
+				return nil, fmt.Errorf("verify: kernel output %q has no readout cell", name)
+			}
+		}
+	}
+
+	verdicts, stats := aig.CheckOutputs(cone.G, progLits, kernLits, aig.EquivOptions{
+		MaxSupport: opt.MaxSupport,
+		SimWords:   opt.SimWords,
+		Seed:       opt.Seed,
+	})
+	rep := &EquivReport{Nodes: cone.G.NumAnds(), Stats: stats}
+	for i, v := range verdicts {
+		oe := OutputEquiv{Name: names[i], Verdict: v.Verdict, Method: v.Method}
+		if v.Verdict == aig.VerdictRefuted {
+			assign := make(map[string]bool, len(v.Counter))
+			for j, name := range cone.InputNames {
+				assign[name] = v.Counter[j]
+			}
+			oe.Counter = &Mismatch{
+				Output:     names[i],
+				Assignment: assign,
+				Want:       cone.G.Eval(kernLits[i], v.Counter),
+				Got:        cone.G.Eval(progLits[i], v.Counter),
+			}
+		}
+		rep.Outputs = append(rep.Outputs, oe)
+	}
+	return rep, nil
+}
+
+// symExec is the literal-domain abstract machine. State layout mirrors the
+// definedness walker (and sim.Predecode): flat arrays over the program's
+// clamped resource space.
+type symExec struct {
+	p     isa.Program
+	t     layout.Target
+	g     *aig.Graph
+	inIdx map[string]int
+	sp    isa.Space
+
+	bufCols int // full fabric width, as the machines shift it
+
+	cellLit []aig.Lit
+	cellDef []bool
+	bufLit  []aig.Lit
+	bufDef  []bool
+
+	folded []aig.Lit // scratch for CIM folds
+}
+
+func newSymExec(p isa.Program, t layout.Target, g *aig.Graph, inIdx map[string]int) *symExec {
+	sp := p.ResourceSpace().Clamp(t.Arrays, t.Cols, t.Rows)
+	return &symExec{
+		p: p, t: t, g: g, inIdx: inIdx, sp: sp,
+		bufCols: t.Cols,
+		cellLit: make([]aig.Lit, sp.Arrays*sp.BufCols*sp.Rows),
+		cellDef: make([]bool, sp.Arrays*sp.BufCols*sp.Rows),
+		bufLit:  make([]aig.Lit, sp.Arrays*t.Cols),
+		bufDef:  make([]bool, sp.Arrays*t.Cols),
+	}
+}
+
+func (ex *symExec) cellOff(a, c, r int) int { return (a*ex.sp.BufCols+c)*ex.sp.Rows + r }
+func (ex *symExec) bufOff(a, c int) int     { return a*ex.bufCols + c }
+
+// cellAt returns the literal a readout of place would observe.
+func (ex *symExec) cellAt(p layout.Place) (aig.Lit, error) {
+	if p.Array < 0 || p.Array >= ex.sp.Arrays || p.Col < 0 || p.Col >= ex.sp.BufCols ||
+		p.Row < 0 || p.Row >= ex.sp.Rows {
+		return 0, fmt.Errorf("readout cell %v was never touched by the program", p)
+	}
+	off := ex.cellOff(p.Array, p.Col, p.Row)
+	if !ex.cellDef[off] {
+		return 0, fmt.Errorf("readout cell %v is undefined at program end", p)
+	}
+	return ex.cellLit[off], nil
+}
+
+func (ex *symExec) run() error {
+	for i, in := range ex.p {
+		var err error
+		switch in.Kind {
+		case isa.KindRead:
+			err = ex.stepRead(in)
+		case isa.KindWrite:
+			err = ex.stepWrite(in)
+		case isa.KindShift:
+			ex.stepShift(in)
+		case isa.KindNot:
+			err = ex.stepNot(in)
+		}
+		if err != nil {
+			return fmt.Errorf("verify: instruction %d (%s): %w", i, in, err)
+		}
+	}
+	return nil
+}
+
+// stepRead mirrors sim.Machine.stepRead: each column senses the activated
+// rows and folds them through the column's op into the row buffer.
+func (ex *symExec) stepRead(in isa.Instruction) error {
+	a := in.Array
+	cim := in.IsCIMRead()
+	for i, c := range in.Cols {
+		bits := ex.folded[:0]
+		for _, r := range in.Rows {
+			off := ex.cellOff(a, c, r)
+			if !ex.cellDef[off] {
+				return fmt.Errorf("read of undefined cell [%d][%d][%d]", a, c, r)
+			}
+			bits = append(bits, ex.cellLit[off])
+			if !cim {
+				break
+			}
+		}
+		ex.folded = bits[:0]
+		var v aig.Lit
+		if cim {
+			switch op := in.Ops[i]; op {
+			case logic.And:
+				v = ex.g.AndN(bits)
+			case logic.Nand:
+				v = ex.g.AndN(bits).Not()
+			case logic.Or:
+				v = ex.g.OrN(bits)
+			case logic.Nor:
+				v = ex.g.OrN(bits).Not()
+			case logic.Xor:
+				v = ex.g.XorN(bits)
+			case logic.Xnor:
+				v = ex.g.XorN(bits).Not()
+			default:
+				return fmt.Errorf("unsupported CIM op %v", op)
+			}
+		} else {
+			v = bits[0]
+		}
+		off := ex.bufOff(a, c)
+		ex.bufLit[off] = v
+		ex.bufDef[off] = true
+	}
+	return nil
+}
+
+func (ex *symExec) stepWrite(in isa.Instruction) error {
+	a, row := in.Array, in.Rows[0]
+	src := a
+	if in.HasSrcArray {
+		src = in.SrcArray
+	}
+	host := in.IsHostWrite()
+	for i, c := range in.Cols {
+		var v aig.Lit
+		if host {
+			idx, ok := ex.inIdx[in.Bindings[i]]
+			if !ok {
+				return fmt.Errorf("program binds %q, which is not a kernel input", in.Bindings[i])
+			}
+			v = ex.g.Input(idx)
+		} else {
+			off := ex.bufOff(src, c)
+			if !ex.bufDef[off] {
+				return fmt.Errorf("write from undefined row-buffer bit [%d][%d]", src, c)
+			}
+			v = ex.bufLit[off]
+		}
+		off := ex.cellOff(a, c, row)
+		ex.cellLit[off] = v
+		ex.cellDef[off] = true
+	}
+	return nil
+}
+
+// stepShift relabels the array's whole row buffer; bits shifted in from
+// outside are undefined, exactly as the machines kill them.
+func (ex *symExec) stepShift(in isa.Instruction) {
+	a := in.Array
+	d := in.ShiftBy
+	if !in.Right {
+		d = -d
+	}
+	n := ex.bufCols
+	base := a * n
+	oldLit := append([]aig.Lit(nil), ex.bufLit[base:base+n]...)
+	oldDef := append([]bool(nil), ex.bufDef[base:base+n]...)
+	for c := 0; c < n; c++ {
+		if s := c - d; s >= 0 && s < n {
+			ex.bufLit[base+c] = oldLit[s]
+			ex.bufDef[base+c] = oldDef[s]
+		} else {
+			ex.bufLit[base+c] = aig.Const0
+			ex.bufDef[base+c] = false
+		}
+	}
+}
+
+func (ex *symExec) stepNot(in isa.Instruction) error {
+	a := in.Array
+	for _, c := range in.Cols {
+		off := ex.bufOff(a, c)
+		if !ex.bufDef[off] {
+			return fmt.Errorf("NOT of undefined row-buffer bit [%d][%d]", a, c)
+		}
+		ex.bufLit[off] = ex.bufLit[off].Not()
+	}
+	return nil
+}
+
+// --- readout manifests ---------------------------------------------------
+
+// FormatOutputs renders the readout contract in the sidecar manifest format
+// golden programs are pinned with:
+//
+//	output <name> [array][col][row]
+//
+// one line per kernel output, '#' comments and blank lines ignored.
+func FormatOutputs(outs []OutputAt) string {
+	var sb strings.Builder
+	sb.WriteString("# readout manifest: kernel output name -> cell its final value is read from\n")
+	for _, o := range outs {
+		fmt.Fprintf(&sb, "output %s %s\n", o.Name, o.Place)
+	}
+	return sb.String()
+}
+
+// ParseOutputs parses the FormatOutputs manifest format.
+func ParseOutputs(text string) ([]OutputAt, error) {
+	var outs []OutputAt
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "output" {
+			return nil, fmt.Errorf("verify: outputs manifest line %d: want \"output <name> [a][c][r]\", got %q", ln+1, line)
+		}
+		place, err := parsePlace(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("verify: outputs manifest line %d: %w", ln+1, err)
+		}
+		outs = append(outs, OutputAt{Name: fields[1], Place: place})
+	}
+	if len(outs) == 0 {
+		return nil, errors.New("verify: outputs manifest names no outputs")
+	}
+	return outs, nil
+}
+
+func parsePlace(s string) (layout.Place, error) {
+	orig := s
+	var nums [3]int
+	for i := 0; i < 3; i++ {
+		if len(s) == 0 || s[0] != '[' {
+			return layout.Place{}, fmt.Errorf("malformed place %q", orig)
+		}
+		end := strings.IndexByte(s, ']')
+		if end < 0 {
+			return layout.Place{}, fmt.Errorf("malformed place %q", orig)
+		}
+		v, err := strconv.Atoi(s[1:end])
+		if err != nil {
+			return layout.Place{}, fmt.Errorf("malformed place %q: %v", orig, err)
+		}
+		nums[i] = v
+		s = s[end+1:]
+	}
+	if s != "" {
+		return layout.Place{}, fmt.Errorf("malformed place %q", orig)
+	}
+	return layout.Place{Array: nums[0], Col: nums[1], Row: nums[2]}, nil
+}

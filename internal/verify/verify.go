@@ -522,7 +522,7 @@ func (w *walker) finish() {
 		}
 	}
 	prods := make([]int32, 0, len(live))
-	for p := range live {
+	for p := range live { //sherlock:allow rangemap (sorted below)
 		prods = append(prods, p)
 	}
 	sort.Slice(prods, func(i, j int) bool { return prods[i] < prods[j] })

@@ -74,6 +74,9 @@ type (
 	VerifyReport = verify.Report
 	// VerifyFinding is one static-verifier diagnostic.
 	VerifyFinding = verify.Finding
+	// EquivalenceReport is the translation validator's per-output proof
+	// record (see Compiled.VerifyEquivalence).
+	EquivalenceReport = verify.EquivReport
 )
 
 // Supported technologies.
@@ -145,6 +148,14 @@ type Options struct {
 	// executing a single lane. Compilation fails if any finding surfaces.
 	VerifyEmitted bool
 
+	// VerifyEquivalence runs the translation validator after mapping: the
+	// emitted instruction stream is symbolically executed into an AIG and
+	// proven equivalent to the SOURCE kernel (pre-MRA, pre-NAND-lowering,
+	// pre-resynthesis), so every transform in the pipeline is covered by
+	// the proof. Compilation fails if any output is refuted or cannot be
+	// proven within budget. See Compiled.VerifyEquivalence.
+	VerifyEquivalence bool
+
 	// Resynthesize turns on synthesis↔scheduling co-optimization
 	// (internal/coopt): the kernel is lifted into an AIG, a portfolio of
 	// resynthesis passes generates candidate nets, each candidate is mapped
@@ -199,6 +210,7 @@ type Compiled struct {
 
 	opts   Options
 	result *mapping.Result
+	source *Graph // the pre-transform kernel, equivalence ground truth
 
 	bindOnce  sync.Once
 	bindNames []string // host-write bindings, in first-use order
@@ -294,11 +306,21 @@ func CompileGraph(g *Graph, opts Options) (*Compiled, error) {
 		Resynth: rstats,
 		opts:    opts,
 		result:  res,
+		source:  g,
 	}
 	if opts.VerifyEmitted {
 		if rep := c.Verify(); len(rep.Findings) != 0 {
 			return nil, fmt.Errorf("sherlock: emitted program failed static verification (%d findings, first: %v)",
 				len(rep.Findings), rep.Findings[0])
+		}
+	}
+	if opts.VerifyEquivalence {
+		rep, err := c.VerifyEquivalence()
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.Err(); err != nil {
+			return nil, err
 		}
 	}
 	return c, nil
@@ -313,6 +335,28 @@ func (c *Compiled) Verify() *VerifyReport {
 	return verify.ProgramOpts(c.Program, c.result.Layout.Target(), verify.Options{
 		MaxRows: device.ParamsFor(c.opts.Tech).MaxRows,
 	})
+}
+
+// VerifyEquivalence statically proves the emitted program computes the
+// source kernel: the instruction stream is abstract-interpreted over AIG
+// literals (internal/verify) and each readout is discharged against the
+// kernel's lifted cone — structural hashing first, then random
+// cosimulation and exhaustive checking on small cones. The ground truth is
+// the graph handed to CompileGraph, before MRA fusion, NAND lowering, or
+// resynthesis, so the proof covers every transform in the pipeline. The
+// returned report carries a per-output verdict; its Err method surfaces
+// the first refutation (with a concrete counterexample assignment) or
+// unproven output.
+func (c *Compiled) VerifyEquivalence() (*EquivalenceReport, error) {
+	outNames, outPlaces, err := c.outputs()
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]verify.OutputAt, len(outNames))
+	for i := range outNames {
+		outs[i] = verify.OutputAt{Name: outNames[i], Place: outPlaces[i]}
+	}
+	return verify.EquivalentOpts(c.Program, c.result.Layout.Target(), c.source, outs, verify.EquivOptions{})
 }
 
 // Cost measures the program under the compiled technology and array size,

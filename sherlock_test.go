@@ -331,3 +331,41 @@ func TestVerifyEmittedOption(t *testing.T) {
 		t.Fatalf("outputs = %v", out)
 	}
 }
+
+// TestVerifyEquivalenceOption: the translation validator proves the emitted
+// program against the SOURCE kernel through every pipeline configuration —
+// plain, MRA-fused, NAND-lowered, and resynthesized compiles included.
+func TestVerifyEquivalenceOption(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"naive", Options{Mapper: MapperNaive}},
+		{"mra", Options{MultiRowActivation: true}},
+		{"nand", Options{NANDLowering: true}},
+		{"resynth", Options{Resynthesize: true, ResynthIterations: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.opts.ArraySize = 128
+			tc.opts.VerifyEquivalence = true
+			c, err := CompileC(demoKernel, tc.opts)
+			if err != nil {
+				t.Fatalf("equivalence-gated compile failed: %v", err)
+			}
+			rep, err := c.VerifyEquivalence()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.AllProven() {
+				t.Fatalf("not all outputs proven: %v", rep.Err())
+			}
+			for _, o := range rep.Outputs {
+				if o.Method == "" {
+					t.Fatalf("output %q missing proof method", o.Name)
+				}
+			}
+		})
+	}
+}
